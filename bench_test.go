@@ -1,0 +1,494 @@
+// Package repro's benchmark harness regenerates every table and figure
+// of the paper (see DESIGN.md §4 for the experiment index). Each
+// benchmark prints, once, the rows/series the paper reports — run with
+//
+//	go test -bench=. -benchmem
+//
+// The b.N loop then measures the cost of the analysis itself, so the
+// harness doubles as a performance regression suite for the library.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/parser"
+	"repro/internal/power"
+	"repro/internal/ptd"
+	"repro/internal/report"
+	"repro/internal/sert"
+	"repro/internal/speccpu"
+	"repro/internal/ssj"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// The corpus is generated once and shared by every benchmark.
+var (
+	corpusOnce sync.Once
+	corpusRuns []*model.Run
+	corpusDS   *analysis.Dataset
+)
+
+func dataset(b *testing.B) *analysis.Dataset {
+	b.Helper()
+	corpusOnce.Do(func() {
+		runs, err := synth.Generate(synth.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		corpusRuns = runs
+		corpusDS = analysis.BuildDataset(runs)
+	})
+	return corpusDS
+}
+
+// printOnce emits the paper-table output a single time per benchmark.
+var printedOnce sync.Map
+
+func printOnce(key, text string) {
+	if _, loaded := printedOnce.LoadOrStore(key, true); !loaded {
+		fmt.Print(text)
+	}
+}
+
+// --- S1: the filter funnel -------------------------------------------------
+
+func BenchmarkFilterFunnel(b *testing.B) {
+	ds := dataset(b)
+	printOnce("funnel", "\n[S1] "+ds.Funnel.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.BuildDataset(corpusRuns)
+	}
+}
+
+// --- F1: Figure 1 ----------------------------------------------------------
+
+func BenchmarkFigure1Shares(b *testing.B) {
+	ds := dataset(b)
+	rows := analysis.Fig1Shares(ds.Parsed)
+	var out string
+	for _, r := range rows {
+		out += fmt.Sprintf("[F1] %d n=%-3d windows=%.2f linux=%.2f intel=%.2f amd=%.2f twoSocket=%.2f multiNode=%.2f\n",
+			r.Year, r.Count, r.OS["Windows"], r.OS["Linux"],
+			r.Vendor["Intel"], r.Vendor["AMD"], r.Sockets["2"],
+			r.Nodes["2"]+r.Nodes[">2"])
+	}
+	printOnce("fig1", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.Fig1Shares(ds.Parsed)
+	}
+}
+
+// --- F2/F3/F5/F6: scatter-and-yearly-mean figures ---------------------------
+
+func benchTrend(b *testing.B, key string, fn func([]*model.Run) analysis.TrendFigure) {
+	ds := dataset(b)
+	fig := fn(ds.Comparable)
+	out := "\n[" + key + "] " + fig.Name + "\n"
+	for _, ys := range fig.Yearly {
+		out += fmt.Sprintf("[%s] %d n=%-3d mean=%.4g median=%.4g\n",
+			key, ys.Year, ys.N, ys.Mean, ys.Median)
+	}
+	printOnce(key, out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fn(ds.Comparable)
+	}
+}
+
+func BenchmarkFigure2PowerPerSocket(b *testing.B) {
+	benchTrend(b, "F2", analysis.Fig2PowerPerSocket)
+}
+
+func BenchmarkFigure3OverallEfficiency(b *testing.B) {
+	benchTrend(b, "F3", analysis.Fig3OverallEfficiency)
+}
+
+func BenchmarkFigure5IdleFraction(b *testing.B) {
+	benchTrend(b, "F5", analysis.Fig5IdleFraction)
+	ds := dataset(b)
+	s5 := analysis.IdleFractionHistory(ds.Comparable, 5)
+	printOnce("fig5s5", fmt.Sprintf(
+		"[S5] idle fraction %d: %.1f%% → min %d: %.1f%% → %d: %.1f%% (paper 70.1 → 15.7 → 25.7)\n",
+		s5.FirstYear, 100*s5.FirstYearMean, s5.MinYear, 100*s5.MinYearMean,
+		s5.LastYear, 100*s5.LastYearMean))
+}
+
+func BenchmarkFigure6IdleQuotient(b *testing.B) {
+	benchTrend(b, "F6", analysis.Fig6IdleQuotient)
+}
+
+// --- F4: Figure 4 ------------------------------------------------------------
+
+func BenchmarkFigure4RelativeEfficiency(b *testing.B) {
+	ds := dataset(b)
+	cells := analysis.Fig4RelativeEfficiency(ds.Comparable)
+	out := "\n[F4] relative efficiency medians (vendor year load median n)\n"
+	for _, c := range cells {
+		if c.Load == 70 || c.Load == 90 {
+			out += fmt.Sprintf("[F4] %-5s %d %d%% %.3f %d\n",
+				c.Vendor, c.Year, c.Load, c.Box.Median, c.Box.N)
+		}
+	}
+	printOnce("fig4", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.Fig4RelativeEfficiency(ds.Comparable)
+	}
+}
+
+// --- T1: Table I -------------------------------------------------------------
+
+func BenchmarkTable1VendorDuel(b *testing.B) {
+	intelSys, amdSys, err := speccpu.DefaultDuel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows, err := speccpu.Table1(intelSys, amdSys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := "\n[T1] Table I (paper factors: ssj 2.09, fp 1.53, int 2.03)\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("[T1] %-36s intel=%.0f amd=%.0f factor=%.2f\n",
+			r.Benchmark, r.Intel, r.AMD, r.Factor)
+	}
+	printOnce("table1", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := speccpu.Table1(intelSys, amdSys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- S2/S3/S4/S6: in-text statistics ----------------------------------------
+
+func BenchmarkSubmissionTrends(b *testing.B) {
+	ds := dataset(b)
+	s := analysis.SubmissionTrends(ds.Parsed)
+	printOnce("s2", fmt.Sprintf(
+		"\n[S2] rate 05–23=%.1f/yr 13–17=%.1f/yr linux %.1f%%→%.1f%% amd %.1f%%→%.1f%%\n",
+		s.RunsPerYear0523, s.RunsPerYear1317,
+		100*s.LinuxSharePre, 100*s.LinuxSharePost,
+		100*s.AMDSharePre, 100*s.AMDSharePost))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.SubmissionTrends(ds.Parsed)
+	}
+}
+
+func BenchmarkPowerGrowth(b *testing.B) {
+	ds := dataset(b)
+	out := "\n"
+	for _, g := range analysis.PowerGrowth(ds.Comparable) {
+		out += fmt.Sprintf("[S3] load %3d%%: early %.1fW late %.1fW ×%.2f\n",
+			g.Load, g.EarlyMean, g.LateMean, g.Factor)
+	}
+	printOnce("s3", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.PowerGrowth(ds.Comparable)
+	}
+}
+
+func BenchmarkTopEfficient(b *testing.B) {
+	ds := dataset(b)
+	top := analysis.TopEfficient(ds.Comparable, 100)
+	printOnce("s4", fmt.Sprintf("\n[S4] top-100: AMD %d Intel %d (paper 98/2)\n",
+		top.ByVendor["AMD"], top.ByVendor["Intel"]))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.TopEfficient(ds.Comparable, 100)
+	}
+}
+
+func BenchmarkRecentFeatureStats(b *testing.B) {
+	ds := dataset(b)
+	s := analysis.RecentFeatures(ds.Comparable, 2021)
+	printOnce("s6", fmt.Sprintf(
+		"\n[S6] since 2021: cores AMD %.1f / Intel %.1f; GHz %.2f±%.2f / %.2f±%.2f (paper 85.8/39.5; ≈2.3, σ .3/.5)\n",
+		s.AMD.MeanCores, s.Intel.MeanCores,
+		s.AMD.MeanGHz, s.AMD.StdGHz, s.Intel.MeanGHz, s.Intel.StdGHz))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.RecentFeatures(ds.Comparable, 2021)
+	}
+}
+
+// --- Extended analyses: trend tests, EP, confounding, SERT -------------------
+
+func BenchmarkPaperTrendTests(b *testing.B) {
+	ds := dataset(b)
+	trends, err := analysis.PaperTrends(ds.Comparable, 0.10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := "\n"
+	for _, ta := range trends {
+		out += fmt.Sprintf("[TR] %-44s %-11s p=%.4f sen=%+.4g/yr tau=%+.2f\n",
+			ta.Metric, ta.MK.Direction, ta.MK.P, ta.SenSlopePerYear, ta.Tau)
+	}
+	printOnce("trends", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.PaperTrends(ds.Comparable, 0.10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnergyProportionality(b *testing.B) {
+	ds := dataset(b)
+	yearly := analysis.EPByYear(ds.Comparable)
+	printOnce("ep", fmt.Sprintf("\n[EP] %d: %.3f → %d: %.3f\n",
+		yearly[0].Year, yearly[0].Mean,
+		yearly[len(yearly)-1].Year, yearly[len(yearly)-1].Mean))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.EPByYear(ds.Comparable)
+	}
+}
+
+func BenchmarkConfoundingScan(b *testing.B) {
+	ds := dataset(b)
+	findings := analysis.ConfoundingScan(ds.Comparable, 2021)
+	n := 0
+	for _, f := range findings {
+		if f.Confounded {
+			n++
+		}
+	}
+	printOnce("confound", fmt.Sprintf(
+		"\n[CF] %d of %d feature pairs vendor-confounded since 2021\n", n, len(findings)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.ConfoundingScan(ds.Comparable, 2021)
+	}
+}
+
+func BenchmarkSERTSuite(b *testing.B) {
+	curve := power.Curve{
+		FullWatts: 500,
+		Prof: power.Profile{IdleFrac: 0.15, LowIntercept: 0.25, Beta: 0.85,
+			TurboWeight: 0.25, TurboGamma: 3},
+	}
+	cfg := sert.DefaultConfig(2)
+	cfg.IntervalDuration = 10 * time.Millisecond
+	cfg.Intensities = []float64{1.0, 0.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := sert.Run(cfg, sert.DefaultSuite(), ssj.NewSimMeter(curve, 0, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) -------------------------------------------------
+
+// BenchmarkAblationRoundTrip (D1): analysing in-memory runs vs rendering
+// to the result-file format and re-parsing first.
+func BenchmarkAblationRoundTrip(b *testing.B) {
+	ds := dataset(b)
+	sample := ds.Comparable[:64]
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = analysis.Fig3OverallEfficiency(sample)
+		}
+	})
+	b.Run("render-parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parsed := make([]*model.Run, len(sample))
+			for j, r := range sample {
+				p, err := parser.ParseString(report.RenderString(r))
+				if err != nil {
+					b.Fatal(err)
+				}
+				parsed[j] = p
+			}
+			_ = analysis.Fig3OverallEfficiency(parsed)
+		}
+	})
+}
+
+// BenchmarkAblationRowVsColumn (D2): computing a yearly mean through the
+// columnar frame vs iterating row structs directly.
+func BenchmarkAblationRowVsColumn(b *testing.B) {
+	ds := dataset(b)
+	b.Run("rows", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = analysis.YearlyMeans(ds.Comparable, (*model.Run).OverallOpsPerWatt)
+		}
+	})
+	b.Run("frame", func(b *testing.B) {
+		fr := analysis.RunsFrame(ds.Comparable)
+		g, err := fr.GroupBy("year")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.AggFloat("overall_eff", "mean", stats.Mean); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("frame-incl-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fr := analysis.RunsFrame(ds.Comparable)
+			g, err := fr.GroupBy("year")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := g.AggFloat("overall_eff", "mean", stats.Mean); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationExtrapolationOrder (D3): the paper's two-point
+// (10 %, 20 %) idle extrapolation vs a three-point least-squares fit.
+func BenchmarkAblationExtrapolationOrder(b *testing.B) {
+	ds := dataset(b)
+	twoPoint := func(r *model.Run) float64 { return r.ExtrapolatedIdlePower() }
+	threePoint := func(r *model.Run) float64 {
+		p10, ok1 := r.Point(10)
+		p20, ok2 := r.Point(20)
+		p30, ok3 := r.Point(30)
+		if !ok1 || !ok2 || !ok3 {
+			return 0
+		}
+		fit, err := stats.LinReg(
+			[]float64{10, 20, 30},
+			[]float64{p10.AvgPower, p20.AvgPower, p30.AvgPower})
+		if err != nil {
+			return 0
+		}
+		return fit.Predict(0)
+	}
+	// Report the methodological sensitivity once.
+	var deltas []float64
+	for _, r := range ds.Comparable {
+		a, c := twoPoint(r), threePoint(r)
+		if a > 0 && c > 0 {
+			deltas = append(deltas, (c-a)/a)
+		}
+	}
+	printOnce("d3", fmt.Sprintf(
+		"\n[D3] 3-point vs 2-point idle extrapolation: mean delta %.2f%%, p95 %.2f%%\n",
+		100*stats.Mean(deltas), 100*stats.Quantile(deltas, 0.95)))
+	b.Run("two-point", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range ds.Comparable {
+				_ = twoPoint(r)
+			}
+		}
+	})
+	b.Run("three-point", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range ds.Comparable {
+				_ = threePoint(r)
+			}
+		}
+	})
+}
+
+// BenchmarkCorpusParallelism (D4): corpus render+write throughput as the
+// worker count scales.
+func BenchmarkCorpusParallelism(b *testing.B) {
+	ds := dataset(b)
+	sample := ds.Raw[:256]
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dir := filepath.Join(b.TempDir(), "c")
+				if err := core.WriteCorpus(dir, sample, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCorpusGeneration measures full 1017-run corpus synthesis.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(synth.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseResultFile measures single-file parsing.
+func BenchmarkParseResultFile(b *testing.B) {
+	ds := dataset(b)
+	text := report.RenderString(ds.Comparable[0])
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.ParseString(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMeterPath (D5): one measured ssj interval through the
+// in-process meter vs the ptdaemon TCP protocol.
+func BenchmarkAblationMeterPath(b *testing.B) {
+	curve := power.Curve{
+		FullWatts: 500,
+		Prof: power.Profile{IdleFrac: 0.2, LowIntercept: 0.3, Beta: 0.85,
+			TurboWeight: 0.25, TurboGamma: 3},
+	}
+	runOne := func(b *testing.B, meter ssj.Meter) {
+		cfg := ssj.DefaultConfig(2)
+		cfg.IntervalDuration = 5 * time.Millisecond
+		cfg.CalibrationIntervals = 1
+		cfg.LoadLevels = []int{100}
+		engine, err := ssj.NewEngine(cfg, meter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("in-process", func(b *testing.B) {
+		runOne(b, ssj.NewSimMeter(curve, 0, 1))
+	})
+	b.Run("ptd-tcp", func(b *testing.B) {
+		var tracker ptd.LoadTracker
+		server, err := ptd.NewServer(ptd.CurveSource(curve, &tracker), time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr, err := server.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer server.Close()
+		client, err := ptd.Dial(addr, &tracker, time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		runOne(b, client)
+	})
+}
+
+// TestMain keeps benchmark output and the normal test runner compatible.
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}

@@ -1,0 +1,66 @@
+// Command sertrun executes the miniature SERT suite against a simulated
+// system: every worklet (CPU, memory, storage domains) at its intensity
+// ladder, measured through the power model, aggregated into domain and
+// overall efficiency scores.
+//
+// Usage:
+//
+//	sertrun -cpu "EPYC 9654" [-sockets 2] [-mem 384] [-interval 100ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/power"
+	"repro/internal/sert"
+	"repro/internal/ssj"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sertrun: ")
+	cpuName := flag.String("cpu", "EPYC 9654", "catalog CPU to simulate (substring match)")
+	sockets := flag.Int("sockets", 2, "populated sockets")
+	memGB := flag.Int("mem", 384, "configured memory (GB)")
+	interval := flag.Duration("interval", 100*time.Millisecond, "measurement interval length")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines per worklet")
+	flag.Parse()
+
+	spec, err := catalog.Find(*cpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve, err := power.NewCurve(spec, power.SystemConfig{Sockets: *sockets, MemGB: *memGB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	meter := ssj.NewSimMeter(curve, 0.01, 1)
+
+	cfg := sert.DefaultConfig(*workers)
+	cfg.IntervalDuration = *interval
+	log.Printf("running SERT suite on %s (%d sockets, %d GB)", spec.Name, *sockets, *memGB)
+	res, err := sert.Run(cfg, sert.DefaultSuite(), meter)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-14s %-8s %10s %10s %10s %8s\n",
+		"worklet", "domain", "intensity", "ops/s", "watts", "eff")
+	for _, wr := range res.Worklets {
+		for _, lv := range wr.Levels {
+			fmt.Printf("%-14s %-8s %9.0f%% %10.0f %10.1f %8.2f\n",
+				wr.Name, wr.Domain, 100*lv.Intensity, lv.OpsPerSec, lv.AvgWatts, lv.Efficiency)
+		}
+		fmt.Printf("%-14s %-8s %41s score %.3f\n", "", "", "", wr.Score)
+	}
+	fmt.Println()
+	for d, s := range res.DomainScores {
+		fmt.Printf("domain %-8s score %.3f (weight %.0f%%)\n", d, s, 100*sert.DomainWeights[d])
+	}
+	fmt.Printf("overall SERT efficiency score: %.3f\n", res.Overall)
+}

@@ -1,0 +1,39 @@
+// Command specgen generates the synthetic SPECpower_ssj2008 corpus as
+// individual result files, the stand-in for downloading the 1017
+// published reports from spec.org.
+//
+// Usage:
+//
+//	specgen -out corpus/ [-seed 14] [-workers 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specgen: ")
+	out := flag.String("out", "corpus", "output directory for .txt result files")
+	seed := flag.Int64("seed", synth.DefaultSeed, "corpus generation seed")
+	workers := flag.Int("workers", 0, "parallel writers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	opt := synth.DefaultOptions()
+	opt.Seed = *seed
+	runs, err := core.GenerateCorpus(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.WriteCorpus(*out, runs, *workers); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stdout, "wrote %d result files to %s (seed %d)\n",
+		len(runs), *out, *seed)
+}

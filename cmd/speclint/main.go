@@ -1,0 +1,90 @@
+// Command speclint validates SPECpower_ssj2008 result files the way the
+// paper's ingestion pipeline does: each file is parsed and classified,
+// and the verdict (accepted for analysis, or the first failing check)
+// is reported per file, with a funnel summary at the end.
+//
+// Usage:
+//
+//	speclint corpus/*.txt
+//	speclint -dir corpus/ [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/parser"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("speclint: ")
+	dir := flag.String("dir", "", "lint every .txt file in this directory")
+	quiet := flag.Bool("quiet", false, "only print the summary")
+	flag.Parse()
+
+	paths := flag.Args()
+	if *dir != "" {
+		entries, err := os.ReadDir(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
+				paths = append(paths, filepath.Join(*dir, e.Name()))
+			}
+		}
+	}
+	if len(paths) == 0 {
+		log.Fatal("no input files (pass paths or -dir)")
+	}
+	sort.Strings(paths)
+
+	counts := map[string]int{}
+	unparseable := 0
+	for _, path := range paths {
+		verdict := lint(path)
+		counts[verdict]++
+		if verdict == "unparseable" {
+			unparseable++
+		}
+		if !*quiet {
+			fmt.Printf("%-52s %s\n", filepath.Base(path), verdict)
+		}
+	}
+
+	fmt.Printf("\n%d files\n", len(paths))
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-46s %4d\n", k, counts[k])
+	}
+	if unparseable > 0 {
+		os.Exit(1)
+	}
+}
+
+func lint(path string) string {
+	f, err := os.Open(path)
+	if err != nil {
+		return "unparseable"
+	}
+	defer f.Close()
+	run, err := parser.Parse(f)
+	if err != nil {
+		return "unparseable"
+	}
+	if rr := model.Classify(run); rr != model.RejectNone {
+		return rr.String()
+	}
+	return "ok (comparable)"
+}

@@ -1,0 +1,107 @@
+// Command specssj executes one full simulated SPECpower_ssj2008
+// benchmark run end-to-end: the ssj workload engine (real goroutine
+// workers, calibration, graduated load) measured through the ptdaemon
+// TCP protocol against a simulated power analyzer, rendered as a
+// result file.
+//
+// Usage:
+//
+//	specssj -cpu "EPYC 9754" [-sockets 2] [-mem 384] [-interval 200ms] [-o report.txt]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/ptd"
+	"repro/internal/report"
+	"repro/internal/ssj"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specssj: ")
+	cpuName := flag.String("cpu", "EPYC 9754", "catalog CPU to simulate (substring match)")
+	sockets := flag.Int("sockets", 2, "populated sockets")
+	memGB := flag.Int("mem", 384, "configured memory (GB)")
+	interval := flag.Duration("interval", 200*time.Millisecond, "measurement interval length")
+	warehouses := flag.Int("warehouses", runtime.GOMAXPROCS(0), "worker warehouses")
+	out := flag.String("o", "-", "output report path (- = stdout)")
+	flag.Parse()
+
+	spec, err := catalog.Find(*cpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := power.SystemConfig{Sockets: *sockets, MemGB: *memGB}
+	curve, err := power.NewCurve(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Power analyzer behind the ptdaemon protocol, coupled to the SUT's
+	// load through a tracker.
+	var tracker ptd.LoadTracker
+	server, err := ptd.NewServer(ptd.CurveSource(curve, &tracker), 5*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+	meter, err := ptd.Dial(addr, &tracker, time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer meter.Close()
+	log.Printf("ptdaemon listening on %s", addr)
+
+	ssjCfg := ssj.DefaultConfig(*warehouses)
+	ssjCfg.IntervalDuration = *interval
+	engine, err := ssj.NewEngine(ssjCfg, meter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("running %s: %d warehouses, %v intervals", spec.Name, *warehouses, *interval)
+	res, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("calibrated throughput: %.0f tx/s", res.CalibratedRate)
+
+	run, err := ssj.AssembleRun(spec,
+		power.SystemConfig{Sockets: *sockets, MemGB: *memGB, PSUWatts: 1100},
+		ssj.RunMeta{
+			TestDate:     model.YM(2024, time.June),
+			SystemVendor: "specssj (simulated)",
+			SystemName:   "Reference SUT",
+			OSName:       runtime.GOOS + " (simulated host)",
+			JVM:          "repro ssj engine (Go " + runtime.Version() + ")",
+		}, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.Render(w, run); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("overall score: %.0f ssj_ops/W (hardware-model prediction uses catalog calibration, not host speed)",
+		run.OverallOpsPerWatt())
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate the calibrated corpus, run the paper's filter
+// funnel, and print the headline numbers of each analysis.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The corpus: 1017 synthetic SPECpower_ssj2008 results calibrated
+	//    to the published dataset's statistics.
+	runs, err := core.GenerateCorpus(synth.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	study := core.NewStudy(runs)
+	ds := study.Dataset
+
+	// 2. The funnel: 1017 → 960 parsed → 676 comparable.
+	fmt.Print(ds.Funnel)
+
+	// 3. Headline trends.
+	growth := analysis.PowerGrowth(ds.Comparable)
+	fmt.Printf("\nfull-load power per socket: %.1f W (≤2010) → %.1f W (≥2022), ×%.2f\n",
+		growth[0].EarlyMean, growth[0].LateMean, growth[0].Factor)
+
+	eff := analysis.Fig3OverallEfficiency(ds.Comparable)
+	first, last := eff.Yearly[0], eff.Yearly[len(eff.Yearly)-1]
+	fmt.Printf("overall efficiency: %.0f ssj_ops/W (%d) → %.0f ssj_ops/W (%d)\n",
+		first.Mean, first.Year, last.Mean, last.Year)
+
+	top := analysis.TopEfficient(ds.Comparable, 100)
+	fmt.Printf("top-100 most efficient runs: %d AMD, %d Intel\n",
+		top.ByVendor["AMD"], top.ByVendor["Intel"])
+
+	idle := analysis.IdleFractionHistory(ds.Comparable, 5)
+	fmt.Printf("idle fraction: %.1f %% (%d) → %.1f %% (%d, minimum) → %.1f %% (%d)\n",
+		100*idle.FirstYearMean, idle.FirstYear,
+		100*idle.MinYearMean, idle.MinYear,
+		100*idle.LastYearMean, idle.LastYear)
+}

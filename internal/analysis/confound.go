@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// ConfoundFinding compares the pooled correlation of two run features
+// with the per-vendor correlations. The paper's Section IV reports that
+// its correlation exploration of the recent idle-fraction regression
+// "remains inconclusive" because "CPU vendor lineups, as well as
+// submitted runs affect many features, confounding possible
+// correlations" — this analysis makes that confounding visible:
+// a pooled correlation whose sign or magnitude collapses within the
+// vendor strata is an artifact of vendor composition (Simpson-style),
+// not a causal signal.
+type ConfoundFinding struct {
+	FeatureX, FeatureY string
+	Pooled             float64
+	WithinAMD          float64
+	WithinIntel        float64
+	// Confounded is set when the pooled correlation is substantial but
+	// loses half its magnitude (or flips sign) in both strata.
+	Confounded bool
+}
+
+// confoundFeatures are the per-run features the exploration covers.
+var confoundFeatures = []struct {
+	name   string
+	metric Metric
+}{
+	{"cores", func(r *model.Run) float64 { return float64(r.TotalCores) }},
+	{"ghz", func(r *model.Run) float64 { return r.NominalGHz }},
+	{"tdp", func(r *model.Run) float64 { return r.TDPWatts }},
+	{"mem_gb", func(r *model.Run) float64 { return float64(r.MemGB) }},
+	{"idle_frac", (*model.Run).IdleFraction},
+	{"idle_quot", (*model.Run).ExtrapolatedIdleQuotient},
+	{"overall_eff", (*model.Run).OverallOpsPerWatt},
+}
+
+// ConfoundingScan computes pooled vs within-vendor correlations for all
+// feature pairs over runs with hardware availability ≥ sinceYear.
+func ConfoundingScan(comparable []*model.Run, sinceYear int) []ConfoundFinding {
+	var pool, amd, intel []*model.Run
+	for _, r := range comparable {
+		if r.HWAvail.Year < sinceYear {
+			continue
+		}
+		pool = append(pool, r)
+		switch r.CPUVendor {
+		case model.VendorAMD:
+			amd = append(amd, r)
+		case model.VendorIntel:
+			intel = append(intel, r)
+		}
+	}
+	column := func(runs []*model.Run, m Metric) []float64 {
+		out := make([]float64, len(runs))
+		for i, r := range runs {
+			out[i] = m(r)
+		}
+		return out
+	}
+	corr := func(runs []*model.Run, a, b Metric) float64 {
+		r, err := stats.Pearson(column(runs, a), column(runs, b))
+		if err != nil {
+			return math.NaN()
+		}
+		return r
+	}
+	var out []ConfoundFinding
+	for i := 0; i < len(confoundFeatures); i++ {
+		for j := i + 1; j < len(confoundFeatures); j++ {
+			fx, fy := confoundFeatures[i], confoundFeatures[j]
+			f := ConfoundFinding{
+				FeatureX:    fx.name,
+				FeatureY:    fy.name,
+				Pooled:      corr(pool, fx.metric, fy.metric),
+				WithinAMD:   corr(amd, fx.metric, fy.metric),
+				WithinIntel: corr(intel, fx.metric, fy.metric),
+			}
+			f.Confounded = isConfounded(f)
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// isConfounded flags pooled correlations that do not survive
+// stratification by vendor.
+func isConfounded(f ConfoundFinding) bool {
+	if math.IsNaN(f.Pooled) || math.Abs(f.Pooled) < 0.3 {
+		return false
+	}
+	weak := func(within float64) bool {
+		if math.IsNaN(within) {
+			return true
+		}
+		// Sign flip or magnitude collapse below half the pooled value.
+		return within*f.Pooled < 0 || math.Abs(within) < math.Abs(f.Pooled)/2
+	}
+	return weak(f.WithinAMD) && weak(f.WithinIntel)
+}

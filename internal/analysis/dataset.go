@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// ReasonCount is one row of the filter funnel.
+type ReasonCount struct {
+	Reason model.RejectReason
+	Count  int
+}
+
+// Funnel records how the corpus shrinks through the two filter stages,
+// mirroring the paper's Section II accounting.
+type Funnel struct {
+	Raw        int // downloaded result files (paper: 1017)
+	Parsed     int // after parse-consistency checks (paper: 960)
+	Comparable int // after comparability filters (paper: 676)
+	// ParseStage and ComparabilityStage list per-reason removals in
+	// pipeline order.
+	ParseStage         []ReasonCount
+	ComparabilityStage []ReasonCount
+}
+
+// String renders the funnel as a small report table.
+func (f Funnel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "raw results:            %4d\n", f.Raw)
+	for _, rc := range f.ParseStage {
+		fmt.Fprintf(&b, "  - %-38s %4d\n", rc.Reason, rc.Count)
+	}
+	fmt.Fprintf(&b, "successfully parsed:    %4d\n", f.Parsed)
+	for _, rc := range f.ComparabilityStage {
+		fmt.Fprintf(&b, "  - %-38s %4d\n", rc.Reason, rc.Count)
+	}
+	fmt.Fprintf(&b, "comparable (analysed):  %4d\n", f.Comparable)
+	return b.String()
+}
+
+// Dataset holds the corpus at each pipeline stage.
+type Dataset struct {
+	// Raw is every run handed in.
+	Raw []*model.Run
+	// Parsed is Raw minus parse-consistency rejects (Figure 1 uses this).
+	Parsed []*model.Run
+	// Comparable is Parsed minus comparability rejects — the 676-run set
+	// every trend analysis uses.
+	Comparable []*model.Run
+	// Funnel is the removal accounting.
+	Funnel Funnel
+}
+
+// BuildDataset classifies every run and splits the corpus into the
+// pipeline stages.
+func BuildDataset(runs []*model.Run) *Dataset {
+	ds := &Dataset{Raw: runs}
+	parseCounts := map[model.RejectReason]int{}
+	compCounts := map[model.RejectReason]int{}
+	for _, r := range runs {
+		if rr := model.CheckParseConsistency(r); rr != model.RejectNone {
+			parseCounts[rr]++
+			continue
+		}
+		ds.Parsed = append(ds.Parsed, r)
+		if rr := model.CheckComparability(r); rr != model.RejectNone {
+			compCounts[rr]++
+			continue
+		}
+		ds.Comparable = append(ds.Comparable, r)
+	}
+	ds.Funnel = Funnel{
+		Raw:        len(runs),
+		Parsed:     len(ds.Parsed),
+		Comparable: len(ds.Comparable),
+	}
+	for _, rr := range model.ParseReasons() {
+		ds.Funnel.ParseStage = append(ds.Funnel.ParseStage,
+			ReasonCount{Reason: rr, Count: parseCounts[rr]})
+	}
+	for _, rr := range model.ComparabilityReasons() {
+		ds.Funnel.ComparabilityStage = append(ds.Funnel.ComparabilityStage,
+			ReasonCount{Reason: rr, Count: compCounts[rr]})
+	}
+	return ds
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// ScatterPoint is one run in a trend figure: x is the hardware
+// availability date as a fractional year, y the plotted metric, with the
+// vendor/socket legend dimensions the paper uses.
+type ScatterPoint struct {
+	Frac    float64
+	Value   float64
+	Vendor  string
+	Sockets int
+}
+
+// Scatter is the per-run series of Figures 2, 3, 5 and 6.
+type Scatter []ScatterPoint
+
+// YearlyStat summarizes one hardware-availability year of a metric.
+type YearlyStat struct {
+	Year   int
+	N      int
+	Mean   float64
+	Median float64
+}
+
+// Metric extracts one value from a run (NaN = not available).
+type Metric func(*model.Run) float64
+
+// ScatterOf builds the scatter of a metric over runs, skipping NaNs.
+func ScatterOf(runs []*model.Run, metric Metric) Scatter {
+	out := make(Scatter, 0, len(runs))
+	for _, r := range runs {
+		v := metric(r)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, ScatterPoint{
+			Frac:    r.HWAvail.Frac(),
+			Value:   v,
+			Vendor:  r.CPUVendor.String(),
+			Sockets: r.SocketsPerNode,
+		})
+	}
+	return out
+}
+
+// YearlyMeans bins a metric by hardware-availability year.
+func YearlyMeans(runs []*model.Run, metric Metric) []YearlyStat {
+	byYear := map[int][]float64{}
+	for _, r := range runs {
+		v := metric(r)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		byYear[r.HWAvail.Year] = append(byYear[r.HWAvail.Year], v)
+	}
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	out := make([]YearlyStat, 0, len(years))
+	for _, y := range years {
+		vs := byYear[y]
+		out = append(out, YearlyStat{
+			Year:   y,
+			N:      len(vs),
+			Mean:   stats.Mean(vs),
+			Median: stats.Median(vs),
+		})
+	}
+	return out
+}
+
+// TrendFigure bundles what Figures 2, 3, 5 and 6 plot.
+type TrendFigure struct {
+	Name   string
+	Points Scatter
+	Yearly []YearlyStat
+}
+
+func trendFigure(name string, runs []*model.Run, metric Metric) TrendFigure {
+	return TrendFigure{
+		Name:   name,
+		Points: ScatterOf(runs, metric),
+		Yearly: YearlyMeans(runs, metric),
+	}
+}
+
+// Fig2PowerPerSocket is Figure 2: AC power per socket at the 100 %
+// interval over hardware availability.
+func Fig2PowerPerSocket(comparable []*model.Run) TrendFigure {
+	return trendFigure("Figure 2: power per socket at full load (W)",
+		comparable, func(r *model.Run) float64 { return r.PowerPerSocketAt(100) })
+}
+
+// Fig3OverallEfficiency is Figure 3: overall ssj_ops/W.
+func Fig3OverallEfficiency(comparable []*model.Run) TrendFigure {
+	return trendFigure("Figure 3: overall ssj_ops/W",
+		comparable, (*model.Run).OverallOpsPerWatt)
+}
+
+// Fig5IdleFraction is Figure 5: active-idle power over full-load power.
+func Fig5IdleFraction(comparable []*model.Run) TrendFigure {
+	return trendFigure("Figure 5: idle power / full load power",
+		comparable, (*model.Run).IdleFraction)
+}
+
+// Fig6IdleQuotient is Figure 6: extrapolated over measured active-idle
+// power.
+func Fig6IdleQuotient(comparable []*model.Run) TrendFigure {
+	return trendFigure("Figure 6: extrapolated idle quotient",
+		comparable, (*model.Run).ExtrapolatedIdleQuotient)
+}
+
+// Fig4Cell is one box of Figure 4: the distribution of relative
+// efficiency for a (vendor, year, load-level) bin.
+type Fig4Cell struct {
+	Vendor string
+	Year   int
+	Load   int
+	Box    stats.BoxStats
+}
+
+// Fig4Loads are the load levels the figure shows.
+var Fig4Loads = []int{60, 70, 80, 90}
+
+// Fig4RelativeEfficiency computes Figure 4: relative efficiency at
+// 60–90 % load binned by year and CPU vendor. Cells are ordered by
+// vendor, then year, then load.
+func Fig4RelativeEfficiency(comparable []*model.Run) []Fig4Cell {
+	type key struct {
+		vendor string
+		year   int
+		load   int
+	}
+	byKey := map[key][]float64{}
+	for _, r := range comparable {
+		for _, load := range Fig4Loads {
+			v := r.RelativeEfficiencyAt(load)
+			if math.IsNaN(v) {
+				continue
+			}
+			k := key{r.CPUVendor.String(), r.HWAvail.Year, load}
+			byKey[k] = append(byKey[k], v)
+		}
+	}
+	keys := make([]key, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.vendor != b.vendor {
+			return a.vendor < b.vendor
+		}
+		if a.year != b.year {
+			return a.year < b.year
+		}
+		return a.load < b.load
+	})
+	out := make([]Fig4Cell, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Fig4Cell{
+			Vendor: k.vendor, Year: k.year, Load: k.load,
+			Box: stats.Box(byKey[k]),
+		})
+	}
+	return out
+}
+
+// Fig1Row is one year of Figure 1: the run count and the share of each
+// feature value among that year's parsed runs.
+type Fig1Row struct {
+	Year    int
+	Count   int
+	OS      map[string]float64 // Windows / Linux / macOS / Other
+	Vendor  map[string]float64 // Intel / AMD / Other
+	Sockets map[string]float64 // "1" / "2" / ">2"
+	Nodes   map[string]float64 // "1" / "2" / ">2"
+}
+
+// Fig1Shares computes Figure 1 over the parsed (960-run) corpus.
+func Fig1Shares(parsed []*model.Run) []Fig1Row {
+	byYear := map[int][]*model.Run{}
+	for _, r := range parsed {
+		byYear[r.HWAvail.Year] = append(byYear[r.HWAvail.Year], r)
+	}
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	out := make([]Fig1Row, 0, len(years))
+	for _, y := range years {
+		runs := byYear[y]
+		row := Fig1Row{
+			Year: y, Count: len(runs),
+			OS:      map[string]float64{},
+			Vendor:  map[string]float64{},
+			Sockets: map[string]float64{},
+			Nodes:   map[string]float64{},
+		}
+		inc := func(m map[string]float64, k string) { m[k] += 1 / float64(len(runs)) }
+		for _, r := range runs {
+			inc(row.OS, r.OSFamily.String())
+			inc(row.Vendor, r.CPUVendor.String())
+			inc(row.Sockets, bucket123(r.SocketsPerNode))
+			inc(row.Nodes, bucket123(r.Nodes))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func bucket123(n int) string {
+	switch {
+	case n <= 1:
+		return "1"
+	case n == 2:
+		return "2"
+	default:
+		return ">2"
+	}
+}

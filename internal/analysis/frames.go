@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"repro/internal/frame"
+	"repro/internal/model"
+)
+
+// RunsFrame flattens runs into a columnar frame with every derived
+// metric the analyses use. Column names are stable API.
+//
+//	id, vendor, class, os, year, frac, sockets, nodes, cores, threads,
+//	ghz, tdp, mem_gb, full_w, idle_w, idle_frac, w_socket_100,
+//	w_socket_70, w_socket_20, overall_eff, ext_idle_w, idle_quot,
+//	releff_60, releff_70, releff_80, releff_90
+func RunsFrame(runs []*model.Run) *frame.Frame {
+	n := len(runs)
+	ids := make([]string, n)
+	vendors := make([]string, n)
+	classes := make([]string, n)
+	oses := make([]string, n)
+	years := make([]int64, n)
+	fracs := make([]float64, n)
+	sockets := make([]int64, n)
+	nodes := make([]int64, n)
+	cores := make([]int64, n)
+	threads := make([]int64, n)
+	ghz := make([]float64, n)
+	tdp := make([]float64, n)
+	mem := make([]int64, n)
+	fullW := make([]float64, n)
+	idleW := make([]float64, n)
+	idleFrac := make([]float64, n)
+	wSock100 := make([]float64, n)
+	wSock70 := make([]float64, n)
+	wSock20 := make([]float64, n)
+	overall := make([]float64, n)
+	extIdle := make([]float64, n)
+	quot := make([]float64, n)
+	rel60 := make([]float64, n)
+	rel70 := make([]float64, n)
+	rel80 := make([]float64, n)
+	rel90 := make([]float64, n)
+
+	for i, r := range runs {
+		ids[i] = r.ID
+		vendors[i] = r.CPUVendor.String()
+		classes[i] = r.CPUClass.String()
+		oses[i] = r.OSFamily.String()
+		years[i] = int64(r.HWAvail.Year)
+		fracs[i] = r.HWAvail.Frac()
+		sockets[i] = int64(r.SocketsPerNode)
+		nodes[i] = int64(r.Nodes)
+		cores[i] = int64(r.TotalCores)
+		threads[i] = int64(r.TotalThreads)
+		ghz[i] = r.NominalGHz
+		tdp[i] = r.TDPWatts
+		mem[i] = int64(r.MemGB)
+		fullW[i] = r.FullLoadPower()
+		idleW[i] = r.IdlePower()
+		idleFrac[i] = r.IdleFraction()
+		wSock100[i] = r.PowerPerSocketAt(100)
+		wSock70[i] = r.PowerPerSocketAt(70)
+		wSock20[i] = r.PowerPerSocketAt(20)
+		overall[i] = r.OverallOpsPerWatt()
+		extIdle[i] = r.ExtrapolatedIdlePower()
+		quot[i] = r.ExtrapolatedIdleQuotient()
+		rel60[i] = r.RelativeEfficiencyAt(60)
+		rel70[i] = r.RelativeEfficiencyAt(70)
+		rel80[i] = r.RelativeEfficiencyAt(80)
+		rel90[i] = r.RelativeEfficiencyAt(90)
+	}
+	return frame.MustNew(
+		frame.StringCol("id", ids),
+		frame.StringCol("vendor", vendors),
+		frame.StringCol("class", classes),
+		frame.StringCol("os", oses),
+		frame.IntCol("year", years),
+		frame.FloatCol("frac", fracs),
+		frame.IntCol("sockets", sockets),
+		frame.IntCol("nodes", nodes),
+		frame.IntCol("cores", cores),
+		frame.IntCol("threads", threads),
+		frame.FloatCol("ghz", ghz),
+		frame.FloatCol("tdp", tdp),
+		frame.IntCol("mem_gb", mem),
+		frame.FloatCol("full_w", fullW),
+		frame.FloatCol("idle_w", idleW),
+		frame.FloatCol("idle_frac", idleFrac),
+		frame.FloatCol("w_socket_100", wSock100),
+		frame.FloatCol("w_socket_70", wSock70),
+		frame.FloatCol("w_socket_20", wSock20),
+		frame.FloatCol("overall_eff", overall),
+		frame.FloatCol("ext_idle_w", extIdle),
+		frame.FloatCol("idle_quot", quot),
+		frame.FloatCol("releff_60", rel60),
+		frame.FloatCol("releff_70", rel70),
+		frame.FloatCol("releff_80", rel80),
+		frame.FloatCol("releff_90", rel90),
+	)
+}

@@ -1,0 +1,12 @@
+// Package catalog is the hardware substrate: a curated table of x86
+// server processor generations (plus a few non-x86 and desktop parts)
+// spanning 2005–2024, with the topology, frequency, TDP and
+// per-generation performance characterization the rest of the system
+// needs.
+//
+// The entries are modelled on the processors that actually dominate the
+// SPECpower_ssj2008 corpus — Intel Xeon from Woodcrest through Emerald
+// Rapids, AMD Opteron and the EPYC line from Naples through Turin — with
+// per-core throughput factors chosen so the simulated fleet reproduces
+// the efficiency magnitudes the paper reports.
+package catalog

@@ -1,0 +1,53 @@
+package catalog
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+)
+
+// CPUSpec describes one processor model: identity, topology, and the
+// characterization constants used by the power and throughput models.
+type CPUSpec struct {
+	// Name is the marketing name as it appears in result files.
+	Name string
+	// Vendor and Class are the classifications used by the paper's filters.
+	Vendor model.CPUVendor
+	Class  model.CPUClass
+
+	// Avail is the general-availability month.
+	Avail model.YearMonth
+
+	// Cores is the core count per socket; ThreadsPerCore is 2 with SMT.
+	Cores          int
+	ThreadsPerCore int
+	// NominalGHz is the base clock; TDPWatts the rated per-socket TDP.
+	NominalGHz float64
+	TDPWatts   float64
+	// MaxSockets is the largest supported socket count.
+	MaxSockets int
+
+	// OpsPerCoreGHz is the ssj throughput per core per GHz, the
+	// per-generation integer IPC proxy. It rises roughly 4–5× across the
+	// corpus period.
+	OpsPerCoreGHz float64
+	// FPRatio scales floating-point rate throughput relative to integer
+	// (vector width, FP ports); used by the SPEC CPU model for Table I.
+	FPRatio float64
+	// VectorBits is the widest SIMD register (128/256/512).
+	VectorBits int
+	// Popularity weights how often the synthetic fleet samples this part
+	// (volume SKUs 4 … flagship/niche 1; 0 is treated as 1).
+	Popularity int
+}
+
+// String implements fmt.Stringer.
+func (c CPUSpec) String() string {
+	return fmt.Sprintf("%s (%dC/%dT %.2f GHz, %g W, %s)",
+		c.Name, c.Cores, c.Cores*c.ThreadsPerCore, c.NominalGHz,
+		c.TDPWatts, c.Avail)
+}
+
+// ym abbreviates date construction in the tables below.
+func ym(y int, m time.Month) model.YearMonth { return model.YM(y, m) }

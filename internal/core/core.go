@@ -1,0 +1,48 @@
+// Package core is the public façade of the specpower-trends library: it
+// ties the synthetic corpus generator, the result-file writer/parser,
+// and the longitudinal analyses into one Study type that the command
+// line tools, examples and benchmarks drive.
+//
+// Typical use:
+//
+//	runs, _ := core.GenerateCorpus(synth.DefaultOptions())
+//	study := core.NewStudy(runs)
+//	fmt.Println(study.Dataset.Funnel)
+//	fig3 := analysis.Fig3OverallEfficiency(study.Dataset.Comparable)
+//
+// or, going through the full closed loop (render → parse → analyse):
+//
+//	core.WriteCorpus(dir, runs, 0)
+//	study, _ := core.LoadStudy(dir, 0)
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/model"
+	"repro/internal/synth"
+)
+
+// Study wraps a classified dataset and memoizes derived analyses.
+type Study struct {
+	// Dataset holds the corpus split into pipeline stages.
+	Dataset *analysis.Dataset
+}
+
+// NewStudy classifies runs and builds a study.
+func NewStudy(runs []*model.Run) *Study {
+	return &Study{Dataset: analysis.BuildDataset(runs)}
+}
+
+// GenerateCorpus produces the paper-calibrated synthetic corpus.
+func GenerateCorpus(opt synth.Options) ([]*model.Run, error) {
+	return synth.Generate(opt)
+}
+
+// DefaultStudy generates the default corpus and builds its study.
+func DefaultStudy() (*Study, error) {
+	runs, err := GenerateCorpus(synth.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return NewStudy(runs), nil
+}

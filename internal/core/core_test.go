@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func smallOptions() synth.Options {
+	return synth.Options{
+		Seed: 7,
+		Plan: []synth.YearPlan{
+			{Year: 2009, Parsed: 12, AMDShare: 0.25, LinuxShare: 0.02, Multi: 3, TwoSocketShare: 0.7},
+			{Year: 2019, Parsed: 12, AMDShare: 0.30, LinuxShare: 0.30, Multi: 2, TwoSocketShare: 0.7},
+		},
+		Defects: synth.DefectPlan{NotAccepted: 2, AmbiguousDate: 1},
+	}
+}
+
+func TestGenerateWriteLoadRoundTrip(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 4); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(runs) {
+		t.Fatalf("wrote %d files for %d runs", len(files), len(runs))
+	}
+	study, err := LoadStudy(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The funnel must be identical whether built from in-memory runs or
+	// from the rendered-and-reparsed corpus (the D1 closed loop).
+	direct := NewStudy(runs)
+	if a, b := funnelKey(direct), funnelKey(study); a != b {
+		t.Errorf("funnel changed across render/parse: %v vs %v", a, b)
+	}
+	if len(study.Dataset.Raw) != len(runs) {
+		t.Errorf("raw count %d vs %d", len(study.Dataset.Raw), len(runs))
+	}
+}
+
+// funnelKey flattens a funnel for comparison.
+func funnelKey(s *Study) [3]int {
+	f := s.Dataset.Funnel
+	return [3]int{f.Raw, f.Parsed, f.Comparable}
+}
+
+func TestLoadRunsErrors(t *testing.T) {
+	if _, err := LoadRuns(filepath.Join(t.TempDir(), "nope"), 0); err == nil {
+		t.Error("missing dir should error")
+	}
+	// A corrupt file fails the whole load with a path in the error.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("not a report"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadRuns(dir, 2)
+	if err == nil || !strings.Contains(err.Error(), "bad.txt") {
+		t.Errorf("expected parse error naming file, got %v", err)
+	}
+}
+
+func TestWriteCorpusSequentialAndParallelAgree(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par := t.TempDir(), t.TempDir()
+	if err := WriteCorpus(seq, runs, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCorpus(par, runs, 8); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		a, err := os.ReadFile(filepath.Join(seq, r.ID+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(par, r.ID+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between sequential and parallel write", r.ID)
+		}
+	}
+}
+
+func TestForEachParallel(t *testing.T) {
+	var count atomic.Int64
+	if err := forEachParallel(100, 8, func(i int) error {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Fatalf("visited %d of 100", count.Load())
+	}
+	// Error propagation.
+	wantErr := errors.New("boom")
+	err := forEachParallel(50, 4, func(i int) error {
+		if i == 25 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v", err)
+	}
+	// Degenerate sizes.
+	if err := forEachParallel(0, 4, func(int) error { return wantErr }); err != nil {
+		t.Error("n=0 should be a no-op")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	study, err := DefaultStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := study.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Filter funnel", "1017", "960", "676",
+		"Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+		"Table I", "top-100", "correlation matrix",
+		"paper: 44.2", "×2.09",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestDefaultStudy(t *testing.T) {
+	study, err := DefaultStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := study.Dataset.Funnel
+	if f.Raw != 1017 || f.Parsed != 960 || f.Comparable != 676 {
+		t.Fatalf("funnel %v", f)
+	}
+}

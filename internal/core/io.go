@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/parser"
+	"repro/internal/report"
+)
+
+// WriteCorpus renders every run into dir as <ID>.txt, sharding the work
+// across workers goroutines (0 = GOMAXPROCS).
+func WriteCorpus(dir string, runs []*model.Run, workers int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: create corpus dir: %w", err)
+	}
+	return forEachParallel(len(runs), workers, func(i int) error {
+		r := runs[i]
+		path := filepath.Join(dir, r.ID+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("core: create %s: %w", path, err)
+		}
+		if err := report.Render(f, r); err != nil {
+			f.Close()
+			return fmt.Errorf("core: render %s: %w", path, err)
+		}
+		return f.Close()
+	})
+}
+
+// LoadRuns parses every *.txt result file under dir, sharding across
+// workers goroutines (0 = GOMAXPROCS). Files are processed in sorted
+// name order so the result is deterministic.
+func LoadRuns(dir string, workers int) ([]*model.Run, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: read corpus dir: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	runs := make([]*model.Run, len(paths))
+	err = forEachParallel(len(paths), workers, func(i int) error {
+		f, err := os.Open(paths[i])
+		if err != nil {
+			return fmt.Errorf("core: open %s: %w", paths[i], err)
+		}
+		defer f.Close()
+		r, err := parser.Parse(f)
+		if err != nil {
+			return fmt.Errorf("core: parse %s: %w", paths[i], err)
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// LoadStudy parses a corpus directory and classifies it.
+func LoadStudy(dir string, workers int) (*Study, error) {
+	runs, err := LoadRuns(dir, workers)
+	if err != nil {
+		return nil, err
+	}
+	return NewStudy(runs), nil
+}
+
+// forEachParallel runs fn(0..n-1) on a bounded worker pool and returns
+// the first error (all workers drain before returning).
+func forEachParallel(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	idx := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var firstErr error
+			for i := range idx {
+				if firstErr != nil {
+					continue // drain, but do no more work
+				}
+				firstErr = fn(i)
+			}
+			errs <- firstErr
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/plot"
+	"repro/internal/speccpu"
+	"repro/internal/stats"
+)
+
+// classOf maps a vendor name to a plot class (marker/colour).
+func classOf(vendor string) int {
+	switch vendor {
+	case "AMD":
+		return 0
+	case "Intel":
+		return 1
+	default:
+		return 2
+	}
+}
+
+func scatterToPts(sc analysis.Scatter) []plot.Pt {
+	pts := make([]plot.Pt, len(sc))
+	for i, p := range sc {
+		pts[i] = plot.Pt{X: p.Frac, Y: p.Value, Class: classOf(p.Vendor)}
+	}
+	return pts
+}
+
+// TrendASCII renders one trend figure (scatter plus yearly means) as
+// text.
+func TrendASCII(fig analysis.TrendFigure, yLabel string) string {
+	var b strings.Builder
+	b.WriteString(plot.ASCIIScatter(scatterToPts(fig.Points), plot.Axes{
+		Title: fig.Name, XLabel: "hardware availability", YLabel: yLabel,
+		Width: 76, Height: 18, ClassNames: []string{"AMD", "Intel", "Other"},
+	}))
+	b.WriteString("yearly means:\n")
+	for _, ys := range fig.Yearly {
+		fmt.Fprintf(&b, "  %d  n=%-3d mean=%-12.4g median=%.4g\n",
+			ys.Year, ys.N, ys.Mean, ys.Median)
+	}
+	return b.String()
+}
+
+// WriteReport prints the full study — funnel, all six figures, Table I
+// and the in-text statistics — as a terminal report.
+func (s *Study) WriteReport(w io.Writer) error {
+	ds := s.Dataset
+	sectionHdr := func(title string) {
+		fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+
+	sectionHdr("Filter funnel (Section II)")
+	fmt.Fprint(w, ds.Funnel.String())
+
+	sectionHdr("Submission trends (S2)")
+	s2 := analysis.SubmissionTrends(ds.Parsed)
+	fmt.Fprintf(w, "runs/year 2005–2023:  %5.1f   (paper: 44.2)\n", s2.RunsPerYear0523)
+	fmt.Fprintf(w, "runs/year 2013–2017:  %5.1f   (paper: 15.2)\n", s2.RunsPerYear1317)
+	fmt.Fprintf(w, "Linux share pre/post 2018:  %4.1f %% → %4.1f %%   (paper: 2.2 → 36.3)\n",
+		100*s2.LinuxSharePre, 100*s2.LinuxSharePost)
+	fmt.Fprintf(w, "AMD share pre/post 2018:    %4.1f %% → %4.1f %%   (paper: 13.0 → 31.3)\n",
+		100*s2.AMDSharePre, 100*s2.AMDSharePost)
+
+	sectionHdr("Figure 1: corpus composition by year")
+	fig1 := analysis.Fig1Shares(ds.Parsed)
+	for _, row := range fig1 {
+		fmt.Fprintf(w, "%d  n=%-3d  Win %3.0f%% Lin %3.0f%% | Intel %3.0f%% AMD %3.0f%% | 2S %3.0f%% | multi-node %3.0f%%\n",
+			row.Year, row.Count,
+			100*row.OS["Windows"], 100*row.OS["Linux"],
+			100*row.Vendor["Intel"], 100*row.Vendor["AMD"],
+			100*row.Sockets["2"], 100*(row.Nodes["2"]+row.Nodes[">2"]))
+	}
+	var osRows, vendorRows []plot.StackedRow
+	for _, row := range fig1 {
+		label := fmt.Sprint(row.Year)
+		osRows = append(osRows, plot.StackedRow{Label: label, Shares: row.OS})
+		vendorRows = append(vendorRows, plot.StackedRow{Label: label, Shares: row.Vendor})
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, plot.ASCIIStacked(osRows, []string{"Windows", "Linux", "macOS", "Other"},
+		plot.Axes{Title: "OS share per year", Width: 60}))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, plot.ASCIIStacked(vendorRows, []string{"Intel", "AMD", "Other"},
+		plot.Axes{Title: "CPU vendor share per year", Width: 60}))
+
+	sectionHdr("Figure 2: power per socket at full load")
+	fmt.Fprint(w, TrendASCII(analysis.Fig2PowerPerSocket(ds.Comparable), "W/socket"))
+	growth := analysis.PowerGrowth(ds.Comparable)
+	for _, g := range growth {
+		fmt.Fprintf(w, "S3 @%3d%%: early %.1f W → late %.1f W  (×%.2f)\n",
+			g.Load, g.EarlyMean, g.LateMean, g.Factor)
+	}
+
+	sectionHdr("Figure 3: overall efficiency")
+	fmt.Fprint(w, TrendASCII(analysis.Fig3OverallEfficiency(ds.Comparable), "ssj_ops/W"))
+	top := analysis.TopEfficient(ds.Comparable, 100)
+	fmt.Fprintf(w, "S4 top-100 most efficient: AMD %d, Intel %d   (paper: 98 / 2)\n",
+		top.ByVendor["AMD"], top.ByVendor["Intel"])
+
+	sectionHdr("Figure 4: relative efficiency at 60–90 % load")
+	fmt.Fprint(w, Fig4ASCII(ds))
+
+	sectionHdr("Figure 5: idle power fraction")
+	fmt.Fprint(w, TrendASCII(analysis.Fig5IdleFraction(ds.Comparable), "idle/full"))
+	s5 := analysis.IdleFractionHistory(ds.Comparable, 5)
+	fmt.Fprintf(w, "S5: %d mean %.1f %% → min %d %.1f %% → %d mean %.1f %%   (paper: 70.1 → 15.7 (2017) → 25.7 (2024))\n",
+		s5.FirstYear, 100*s5.FirstYearMean, s5.MinYear, 100*s5.MinYearMean,
+		s5.LastYear, 100*s5.LastYearMean)
+
+	if cf, err := analysis.IdleFractionChangepoint(ds.Comparable, 5, 0.05); err == nil {
+		fmt.Fprintf(w, "Pettitt changepoint: idle-fraction regime break after %d (p=%.4f, significant=%v)\n",
+			cf.Year, cf.P, cf.Significant)
+	}
+
+	sectionHdr("Figure 6: extrapolated idle quotient")
+	fmt.Fprint(w, TrendASCII(analysis.Fig6IdleQuotient(ds.Comparable), "extrapolated/measured"))
+
+	sectionHdr("S6: feature comparison since 2021")
+	s6 := analysis.RecentFeatures(ds.Comparable, 2021)
+	fmt.Fprintf(w, "mean cores: AMD %.1f vs Intel %.1f   (paper: 85.8 vs 39.5)\n",
+		s6.AMD.MeanCores, s6.Intel.MeanCores)
+	fmt.Fprintf(w, "nominal GHz: AMD %.2f ±%.2f vs Intel %.2f ±%.2f   (paper: ≈2.3 both, σ 0.3 vs 0.5)\n",
+		s6.AMD.MeanGHz, s6.AMD.StdGHz, s6.Intel.MeanGHz, s6.Intel.StdGHz)
+	fmt.Fprintf(w, "correlation matrix (%s):\n", strings.Join(s6.CorrNames, ", "))
+	for i, row := range s6.Corr {
+		fmt.Fprintf(w, "  %-12s", s6.CorrNames[i])
+		for _, v := range row {
+			fmt.Fprintf(w, " %6.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+
+	sectionHdr("Trend tests (Mann-Kendall + Theil–Sen, α = 0.10)")
+	trends, err := analysis.PaperTrends(ds.Comparable, 0.10)
+	if err != nil {
+		return err
+	}
+	for _, ta := range trends {
+		fmt.Fprintf(w, "%-44s %-11s p=%.4f  Sen slope %+.4g/yr  τ=%+.2f  (%d–%d)\n",
+			ta.Metric, ta.MK.Direction, ta.MK.P, ta.SenSlopePerYear, ta.Tau,
+			ta.FromYear, ta.ToYear)
+	}
+
+	sectionHdr("Energy proportionality score by year")
+	for _, ys := range analysis.EPByYear(ds.Comparable) {
+		fmt.Fprintf(w, "  %d  n=%-3d EP=%.3f\n", ys.Year, ys.N, ys.Mean)
+	}
+
+	sectionHdr("Correlation exploration since 2021 (vendor confounding)")
+	fmt.Fprintf(w, "%-24s %8s %8s %8s  %s\n", "pair", "pooled", "AMD", "Intel", "verdict")
+	for _, f := range analysis.ConfoundingScan(ds.Comparable, 2021) {
+		verdict := ""
+		if f.Confounded {
+			verdict = "vendor-confounded"
+		}
+		fmt.Fprintf(w, "%-24s %8.2f %8.2f %8.2f  %s\n",
+			f.FeatureX+"↔"+f.FeatureY, f.Pooled, f.WithinAMD, f.WithinIntel, verdict)
+	}
+	fmt.Fprintln(w, "(the paper: \"our correlation analysis … remains inconclusive\" — "+
+		"pooled correlations collapse within vendor strata)")
+
+	sectionHdr("Table I: SR650 V3 (Intel) vs SR645 V3 (AMD)")
+	intelSys, amdSys, err := speccpu.DefaultDuel()
+	if err != nil {
+		return err
+	}
+	rows, err := speccpu.Table1(intelSys, amdSys)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-36s %10s %10s %8s\n", "Benchmark", "Intel", "AMD", "Factor")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-36s %10.0f %10.0f %8.2f\n", r.Benchmark, r.Intel, r.AMD, r.Factor)
+	}
+	fmt.Fprintf(w, "(paper factors: ssj ×2.09, fp ×1.53, int ×2.03)\n")
+	return nil
+}
+
+// Fig4ASCII renders Figure 4 as stacked ASCII box plots per vendor and
+// load level, one row per year.
+func Fig4ASCII(ds *analysis.Dataset) string {
+	cells := analysis.Fig4RelativeEfficiency(ds.Comparable)
+	type key struct {
+		vendor string
+		load   int
+	}
+	grouped := map[key][]analysis.Fig4Cell{}
+	for _, c := range cells {
+		k := key{c.Vendor, c.Load}
+		grouped[k] = append(grouped[k], c)
+	}
+	keys := make([]key, 0, len(grouped))
+	for k := range grouped {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].vendor != keys[j].vendor {
+			return keys[i].vendor < keys[j].vendor
+		}
+		return keys[i].load < keys[j].load
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		if k.load != 70 && k.load != 90 {
+			continue // keep the terminal report compact
+		}
+		group := grouped[k]
+		labels := make([]string, len(group))
+		boxes := make([]stats.BoxStats, len(group))
+		for i, c := range group {
+			labels[i] = fmt.Sprintf("%d", c.Year)
+			boxes[i] = c.Box
+		}
+		fmt.Fprintf(&b, "%s @ %d%% load (1.0 = full-load efficiency):\n", k.vendor, k.load)
+		b.WriteString(plot.ASCIIBoxes(labels, boxes, plot.Axes{Width: 56, YMin: 0.5, YMax: 1.5}))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,296 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind is the storage type of a column.
+type Kind int
+
+// Column kinds.
+const (
+	KindFloat Kind = iota
+	KindInt
+	KindString
+	KindBool
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFloat:
+		return "float"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Column is one named, typed column. Exactly one of the backing slices
+// is non-nil, selected by kind.
+type Column struct {
+	name string
+	kind Kind
+	f    []float64
+	i    []int64
+	s    []string
+	b    []bool
+}
+
+// FloatCol builds a float column (the slice is copied).
+func FloatCol(name string, vals []float64) *Column {
+	return &Column{name: name, kind: KindFloat, f: append([]float64(nil), vals...)}
+}
+
+// IntCol builds an int column (the slice is copied).
+func IntCol(name string, vals []int64) *Column {
+	return &Column{name: name, kind: KindInt, i: append([]int64(nil), vals...)}
+}
+
+// StringCol builds a string column (the slice is copied).
+func StringCol(name string, vals []string) *Column {
+	return &Column{name: name, kind: KindString, s: append([]string(nil), vals...)}
+}
+
+// BoolCol builds a bool column (the slice is copied).
+func BoolCol(name string, vals []bool) *Column {
+	return &Column{name: name, kind: KindBool, b: append([]bool(nil), vals...)}
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the storage type.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Len returns the number of rows.
+func (c *Column) Len() int {
+	switch c.kind {
+	case KindFloat:
+		return len(c.f)
+	case KindInt:
+		return len(c.i)
+	case KindString:
+		return len(c.s)
+	default:
+		return len(c.b)
+	}
+}
+
+// Floats returns the column as float64s. Int columns convert exactly;
+// bool columns map to 0/1; string columns parse, with NaN for
+// unparseable entries. The result is always a fresh slice.
+func (c *Column) Floats() []float64 {
+	out := make([]float64, c.Len())
+	switch c.kind {
+	case KindFloat:
+		copy(out, c.f)
+	case KindInt:
+		for i, v := range c.i {
+			out[i] = float64(v)
+		}
+	case KindBool:
+		for i, v := range c.b {
+			if v {
+				out[i] = 1
+			}
+		}
+	case KindString:
+		for i, v := range c.s {
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				x = math.NaN()
+			}
+			out[i] = x
+		}
+	}
+	return out
+}
+
+// Ints returns the column as int64s; float columns truncate (NaN → 0),
+// bools map to 0/1, strings parse with 0 for unparseable entries.
+func (c *Column) Ints() []int64 {
+	out := make([]int64, c.Len())
+	switch c.kind {
+	case KindInt:
+		copy(out, c.i)
+	case KindFloat:
+		for i, v := range c.f {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				out[i] = int64(v)
+			}
+		}
+	case KindBool:
+		for i, v := range c.b {
+			if v {
+				out[i] = 1
+			}
+		}
+	case KindString:
+		for i, v := range c.s {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err == nil {
+				out[i] = n
+			}
+		}
+	}
+	return out
+}
+
+// Strings renders every entry as a string.
+func (c *Column) Strings() []string {
+	out := make([]string, c.Len())
+	switch c.kind {
+	case KindString:
+		copy(out, c.s)
+	case KindFloat:
+		for i, v := range c.f {
+			out[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+	case KindInt:
+		for i, v := range c.i {
+			out[i] = strconv.FormatInt(v, 10)
+		}
+	case KindBool:
+		for i, v := range c.b {
+			out[i] = strconv.FormatBool(v)
+		}
+	}
+	return out
+}
+
+// Bools returns the column as bools; numeric columns are true when
+// non-zero, strings when equal to "true".
+func (c *Column) Bools() []bool {
+	out := make([]bool, c.Len())
+	switch c.kind {
+	case KindBool:
+		copy(out, c.b)
+	case KindFloat:
+		for i, v := range c.f {
+			out[i] = v != 0 && !math.IsNaN(v)
+		}
+	case KindInt:
+		for i, v := range c.i {
+			out[i] = v != 0
+		}
+	case KindString:
+		for i, v := range c.s {
+			out[i] = v == "true"
+		}
+	}
+	return out
+}
+
+// valueString renders row i for CSV output and group keys.
+func (c *Column) valueString(i int) string {
+	switch c.kind {
+	case KindFloat:
+		return strconv.FormatFloat(c.f[i], 'g', -1, 64)
+	case KindInt:
+		return strconv.FormatInt(c.i[i], 10)
+	case KindString:
+		return c.s[i]
+	default:
+		return strconv.FormatBool(c.b[i])
+	}
+}
+
+// take returns a new column containing the given rows in order.
+func (c *Column) take(rows []int) *Column {
+	n := &Column{name: c.name, kind: c.kind}
+	switch c.kind {
+	case KindFloat:
+		n.f = make([]float64, len(rows))
+		for j, r := range rows {
+			n.f[j] = c.f[r]
+		}
+	case KindInt:
+		n.i = make([]int64, len(rows))
+		for j, r := range rows {
+			n.i[j] = c.i[r]
+		}
+	case KindString:
+		n.s = make([]string, len(rows))
+		for j, r := range rows {
+			n.s[j] = c.s[r]
+		}
+	default:
+		n.b = make([]bool, len(rows))
+		for j, r := range rows {
+			n.b[j] = c.b[r]
+		}
+	}
+	return n
+}
+
+// clone returns a deep copy with an optional new name.
+func (c *Column) clone(name string) *Column {
+	n := &Column{name: name, kind: c.kind}
+	n.f = append([]float64(nil), c.f...)
+	n.i = append([]int64(nil), c.i...)
+	n.s = append([]string(nil), c.s...)
+	n.b = append([]bool(nil), c.b...)
+	return n
+}
+
+// less compares rows a and b for sorting (NaN sorts last).
+func (c *Column) less(a, b int) bool {
+	return c.cmp(a, b, false) < 0
+}
+
+// cmp compares rows a and b and returns -1/0/+1. desc flips the order of
+// finite values, but NaN always sorts last so trend analyses keep finite
+// data first regardless of direction.
+func (c *Column) cmp(a, b int, desc bool) int {
+	var r int
+	switch c.kind {
+	case KindFloat:
+		x, y := c.f[a], c.f[b]
+		xn, yn := math.IsNaN(x), math.IsNaN(y)
+		switch {
+		case xn && yn:
+			return 0
+		case xn:
+			return 1 // NaN after everything, even under desc
+		case yn:
+			return -1
+		case x < y:
+			r = -1
+		case x > y:
+			r = 1
+		}
+	case KindInt:
+		switch {
+		case c.i[a] < c.i[b]:
+			r = -1
+		case c.i[a] > c.i[b]:
+			r = 1
+		}
+	case KindString:
+		switch {
+		case c.s[a] < c.s[b]:
+			r = -1
+		case c.s[a] > c.s[b]:
+			r = 1
+		}
+	default:
+		switch {
+		case !c.b[a] && c.b[b]:
+			r = -1
+		case c.b[a] && !c.b[b]:
+			r = 1
+		}
+	}
+	if desc {
+		return -r
+	}
+	return r
+}

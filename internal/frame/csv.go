@@ -1,0 +1,114 @@
+package frame
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteCSV writes the frame with a header row. Floats render with full
+// precision; NaN renders as an empty cell (pandas-compatible).
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.Names()); err != nil {
+		return fmt.Errorf("frame: write header: %w", err)
+	}
+	rec := make([]string, len(f.cols))
+	for r := 0; r < f.n; r++ {
+		for ci, c := range f.cols {
+			if c.kind == KindFloat && math.IsNaN(c.f[r]) {
+				rec[ci] = ""
+				continue
+			}
+			rec[ci] = c.valueString(r)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("frame: write row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a headered CSV into a frame, inferring column kinds:
+// a column is int if every non-empty cell parses as an integer, else
+// float if every non-empty cell parses as a number (empty cells become
+// NaN), else bool if every cell is true/false, else string.
+func ReadCSV(r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("frame: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("frame: csv has no header")
+	}
+	header := records[0]
+	rows := records[1:]
+	cols := make([]*Column, len(header))
+	for ci, name := range header {
+		cells := make([]string, len(rows))
+		for ri, rec := range rows {
+			if ci >= len(rec) {
+				return nil, fmt.Errorf("frame: row %d has %d cells, want %d",
+					ri+1, len(rec), len(header))
+			}
+			cells[ri] = rec[ci]
+		}
+		cols[ci] = inferColumn(name, cells)
+	}
+	return New(cols...)
+}
+
+func inferColumn(name string, cells []string) *Column {
+	isInt, isFloat, isBool := true, true, true
+	anyNonEmpty := false
+	for _, cell := range cells {
+		if cell == "" {
+			isInt = false // empty means missing; ints cannot express that
+			isBool = false
+			continue
+		}
+		anyNonEmpty = true
+		if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+			isInt = false
+		}
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			isFloat = false
+		}
+		if cell != "true" && cell != "false" {
+			isBool = false
+		}
+	}
+	if !anyNonEmpty {
+		isInt, isFloat, isBool = false, false, false
+	}
+	switch {
+	case isInt:
+		vals := make([]int64, len(cells))
+		for i, cell := range cells {
+			vals[i], _ = strconv.ParseInt(cell, 10, 64)
+		}
+		return IntCol(name, vals)
+	case isBool:
+		vals := make([]bool, len(cells))
+		for i, cell := range cells {
+			vals[i] = cell == "true"
+		}
+		return BoolCol(name, vals)
+	case isFloat:
+		vals := make([]float64, len(cells))
+		for i, cell := range cells {
+			if cell == "" {
+				vals[i] = math.NaN()
+				continue
+			}
+			vals[i], _ = strconv.ParseFloat(cell, 64)
+		}
+		return FloatCol(name, vals)
+	default:
+		return StringCol(name, cells)
+	}
+}

@@ -1,0 +1,92 @@
+package frame
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := sample()
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != f.Len() || back.NumCols() != f.NumCols() {
+		t.Fatalf("shape %d×%d, want %d×%d",
+			back.Len(), back.NumCols(), f.Len(), f.NumCols())
+	}
+	// Kinds survive: year back as int, eff as float with NaN, linux as bool.
+	yc, _ := back.Col("year")
+	if yc.Kind() != KindInt {
+		t.Errorf("year kind = %v", yc.Kind())
+	}
+	ec, _ := back.Col("eff")
+	if ec.Kind() != KindFloat {
+		t.Errorf("eff kind = %v", ec.Kind())
+	}
+	lc, _ := back.Col("linux")
+	if lc.Kind() != KindBool {
+		t.Errorf("linux kind = %v", lc.Kind())
+	}
+	eff := back.MustFloats("eff")
+	if eff[0] != 30000 || !math.IsNaN(eff[4]) {
+		t.Errorf("eff = %v", eff)
+	}
+	for i, v := range back.MustStrings("vendor") {
+		if v != f.MustStrings("vendor")[i] {
+			t.Errorf("vendor[%d] = %q", i, v)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	// Ragged rows are a csv-level error.
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged row should error")
+	}
+}
+
+func TestReadCSVInference(t *testing.T) {
+	in := "i,f,s,b,e\n1,1.5,x,true,\n2,2.5,y,false,\n"
+	f, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := map[string]Kind{
+		"i": KindInt, "f": KindFloat, "s": KindString, "b": KindBool,
+		"e": KindString, // all-empty column stays string
+	}
+	for name, want := range wantKinds {
+		c, err := f.Col(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Kind() != want {
+			t.Errorf("col %q kind = %v, want %v", name, c.Kind(), want)
+		}
+	}
+}
+
+func TestReadCSVEmptyNumericCellBecomesNaN(t *testing.T) {
+	// A bare blank line would be skipped by encoding/csv, so the missing
+	// value is written as a quoted empty cell (what WriteCSV emits when
+	// there are multiple columns).
+	in := "x\n1.5\n\"\"\n2.5\n"
+	f, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := f.MustFloats("x")
+	if xs[0] != 1.5 || !math.IsNaN(xs[1]) || xs[2] != 2.5 {
+		t.Errorf("x = %v", xs)
+	}
+}

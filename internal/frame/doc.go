@@ -1,0 +1,12 @@
+// Package frame implements a small columnar dataframe: typed named
+// columns of equal length with filtering, sorting, grouping, and
+// aggregation. It stands in for the pandas layer of the original
+// analysis scripts.
+//
+// A Frame is immutable in spirit: operations return new frames (sharing
+// no mutable state with the input) so analyses can branch from a common
+// base dataset without defensive copying. Columns are stored as dense
+// slices of one of four kinds (float64, int64, string, bool); missing
+// numeric values are represented as NaN, matching the stats package's
+// conventions.
+package frame

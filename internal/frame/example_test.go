@@ -1,0 +1,55 @@
+package frame_test
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/stats"
+)
+
+// ExampleFrame_GroupBy aggregates efficiency by vendor, the shape of
+// every per-figure analysis in the study.
+func ExampleFrame_GroupBy() {
+	f := frame.MustNew(
+		frame.StringCol("vendor", []string{"AMD", "Intel", "AMD", "Intel"}),
+		frame.FloatCol("eff", []float64{30000, 12000, 34000, 14000}),
+	)
+	g, err := f.GroupBy("vendor")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	agg, err := g.AggFloat("eff", "mean_eff", stats.Mean)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, v := range agg.MustStrings("vendor") {
+		fmt.Printf("%s: %.0f\n", v, agg.MustFloats("mean_eff")[i])
+	}
+	// Output:
+	// AMD: 32000
+	// Intel: 13000
+}
+
+// ExampleFrame_Pivot builds the year × vendor mean-efficiency table.
+func ExampleFrame_Pivot() {
+	f := frame.MustNew(
+		frame.IntCol("year", []int64{2022, 2022, 2023, 2023}),
+		frame.StringCol("vendor", []string{"AMD", "Intel", "AMD", "Intel"}),
+		frame.FloatCol("eff", []float64{28000, 11000, 32000, 15000}),
+	)
+	p, err := f.Pivot("year", "vendor", "eff", stats.Mean)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	years := p.MustStrings("year")
+	amd := p.MustFloats("AMD")
+	for i := range years {
+		fmt.Printf("%s: AMD %.0f\n", years[i], amd[i])
+	}
+	// Output:
+	// 2022: AMD 28000
+	// 2023: AMD 32000
+}

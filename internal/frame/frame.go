@@ -1,0 +1,267 @@
+package frame
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Frame is an ordered collection of equally long named columns.
+type Frame struct {
+	cols  []*Column
+	index map[string]int
+	n     int
+}
+
+// New builds a frame from columns. All columns must have distinct names
+// and equal lengths.
+func New(cols ...*Column) (*Frame, error) {
+	f := &Frame{index: make(map[string]int, len(cols))}
+	for idx, c := range cols {
+		if c == nil {
+			return nil, fmt.Errorf("frame: nil column at position %d", idx)
+		}
+		if _, dup := f.index[c.name]; dup {
+			return nil, fmt.Errorf("frame: duplicate column %q", c.name)
+		}
+		if idx == 0 {
+			f.n = c.Len()
+		} else if c.Len() != f.n {
+			return nil, fmt.Errorf("frame: column %q has %d rows, want %d",
+				c.name, c.Len(), f.n)
+		}
+		f.index[c.name] = idx
+		f.cols = append(f.cols, c)
+	}
+	return f, nil
+}
+
+// MustNew is New that panics on error; for statically correct literals.
+func MustNew(cols ...*Column) *Frame {
+	f, err := New(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Len returns the number of rows.
+func (f *Frame) Len() int { return f.n }
+
+// NumCols returns the number of columns.
+func (f *Frame) NumCols() int { return len(f.cols) }
+
+// Names returns the column names in order.
+func (f *Frame) Names() []string {
+	out := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Col returns the named column, or an error naming the missing column
+// and listing what exists (typo diagnosis in analysis code).
+func (f *Frame) Col(name string) (*Column, error) {
+	if i, ok := f.index[name]; ok {
+		return f.cols[i], nil
+	}
+	return nil, fmt.Errorf("frame: no column %q (have %s)",
+		name, strings.Join(f.Names(), ", "))
+}
+
+// Has reports whether the named column exists.
+func (f *Frame) Has(name string) bool {
+	_, ok := f.index[name]
+	return ok
+}
+
+// Floats is shorthand for Col(name).Floats() with the error propagated.
+func (f *Frame) Floats(name string) ([]float64, error) {
+	c, err := f.Col(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Floats(), nil
+}
+
+// MustFloats panics if the column is missing; for analysis code whose
+// column set is fixed by construction.
+func (f *Frame) MustFloats(name string) []float64 {
+	v, err := f.Floats(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Ints is shorthand for Col(name).Ints().
+func (f *Frame) Ints(name string) ([]int64, error) {
+	c, err := f.Col(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Ints(), nil
+}
+
+// MustInts panics if the column is missing.
+func (f *Frame) MustInts(name string) []int64 {
+	v, err := f.Ints(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Strings is shorthand for Col(name).Strings().
+func (f *Frame) Strings(name string) ([]string, error) {
+	c, err := f.Col(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Strings(), nil
+}
+
+// MustStrings panics if the column is missing.
+func (f *Frame) MustStrings(name string) []string {
+	v, err := f.Strings(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// WithColumn returns a new frame with the column appended (or replaced,
+// if a column of that name exists). The receiver is unchanged.
+func (f *Frame) WithColumn(c *Column) (*Frame, error) {
+	if c == nil {
+		return nil, fmt.Errorf("frame: WithColumn(nil)")
+	}
+	if f.n != c.Len() && len(f.cols) > 0 {
+		return nil, fmt.Errorf("frame: column %q has %d rows, want %d",
+			c.name, c.Len(), f.n)
+	}
+	cols := make([]*Column, 0, len(f.cols)+1)
+	replaced := false
+	for _, old := range f.cols {
+		if old.name == c.name {
+			cols = append(cols, c)
+			replaced = true
+		} else {
+			cols = append(cols, old)
+		}
+	}
+	if !replaced {
+		cols = append(cols, c)
+	}
+	return New(cols...)
+}
+
+// Select returns a new frame containing only the named columns, in the
+// given order.
+func (f *Frame) Select(names ...string) (*Frame, error) {
+	cols := make([]*Column, 0, len(names))
+	for _, n := range names {
+		c, err := f.Col(n)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c.clone(n))
+	}
+	return New(cols...)
+}
+
+// Filter returns the rows where keep returns true. keep receives the row
+// index into the receiver.
+func (f *Frame) Filter(keep func(row int) bool) *Frame {
+	rows := make([]int, 0, f.n)
+	for i := 0; i < f.n; i++ {
+		if keep(i) {
+			rows = append(rows, i)
+		}
+	}
+	return f.take(rows)
+}
+
+// FilterMask returns the rows where mask is true. The mask must have
+// exactly Len entries.
+func (f *Frame) FilterMask(mask []bool) (*Frame, error) {
+	if len(mask) != f.n {
+		return nil, fmt.Errorf("frame: mask has %d entries, want %d", len(mask), f.n)
+	}
+	return f.Filter(func(i int) bool { return mask[i] }), nil
+}
+
+// Head returns the first n rows (all rows if n exceeds Len).
+func (f *Frame) Head(n int) *Frame {
+	if n > f.n {
+		n = f.n
+	}
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return f.take(rows)
+}
+
+// take builds a new frame from the given row indices.
+func (f *Frame) take(rows []int) *Frame {
+	cols := make([]*Column, len(f.cols))
+	for i, c := range f.cols {
+		cols[i] = c.take(rows)
+	}
+	nf, err := New(cols...)
+	if err != nil {
+		// Cannot happen: take preserves names and lengths.
+		panic(err)
+	}
+	return nf
+}
+
+// Concat appends the rows of other. Both frames must have identical
+// column names, order, and kinds.
+func (f *Frame) Concat(other *Frame) (*Frame, error) {
+	if len(f.cols) != len(other.cols) {
+		return nil, fmt.Errorf("frame: concat column count %d != %d",
+			len(f.cols), len(other.cols))
+	}
+	cols := make([]*Column, len(f.cols))
+	for i, a := range f.cols {
+		b := other.cols[i]
+		if a.name != b.name || a.kind != b.kind {
+			return nil, fmt.Errorf("frame: concat mismatch at %d: %s/%s vs %s/%s",
+				i, a.name, a.kind, b.name, b.kind)
+		}
+		c := a.clone(a.name)
+		c.f = append(c.f, b.f...)
+		c.i = append(c.i, b.i...)
+		c.s = append(c.s, b.s...)
+		c.b = append(c.b, b.b...)
+		cols[i] = c
+	}
+	return New(cols...)
+}
+
+// String renders a compact table preview (up to 8 rows) for debugging.
+func (f *Frame) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Frame[%d rows × %d cols]\n", f.n, len(f.cols))
+	sb.WriteString(strings.Join(f.Names(), "\t"))
+	sb.WriteByte('\n')
+	limit := f.n
+	if limit > 8 {
+		limit = 8
+	}
+	for r := 0; r < limit; r++ {
+		for ci, c := range f.cols {
+			if ci > 0 {
+				sb.WriteByte('\t')
+			}
+			sb.WriteString(c.valueString(r))
+		}
+		sb.WriteByte('\n')
+	}
+	if limit < f.n {
+		fmt.Fprintf(&sb, "… %d more rows\n", f.n-limit)
+	}
+	return sb.String()
+}

@@ -1,0 +1,235 @@
+package frame
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Frame {
+	return MustNew(
+		StringCol("vendor", []string{"AMD", "Intel", "AMD", "Intel", "AMD"}),
+		IntCol("year", []int64{2020, 2020, 2021, 2021, 2021}),
+		FloatCol("eff", []float64{30000, 12000, 35000, 15000, math.NaN()}),
+		BoolCol("linux", []bool{true, false, true, false, true}),
+	)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(
+		FloatCol("a", []float64{1, 2}),
+		FloatCol("a", []float64{3, 4}),
+	); err == nil {
+		t.Error("duplicate names should error")
+	}
+	if _, err := New(
+		FloatCol("a", []float64{1, 2}),
+		FloatCol("b", []float64{3}),
+	); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("nil column should error")
+	}
+	empty, err := New()
+	if err != nil || empty.Len() != 0 || empty.NumCols() != 0 {
+		t.Errorf("empty frame: %v %v", empty, err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f := sample()
+	if f.Len() != 5 || f.NumCols() != 4 {
+		t.Fatalf("shape = %d×%d", f.Len(), f.NumCols())
+	}
+	if !f.Has("eff") || f.Has("nope") {
+		t.Error("Has broken")
+	}
+	if _, err := f.Col("nope"); err == nil ||
+		!strings.Contains(err.Error(), "vendor") {
+		t.Errorf("missing-column error should list names, got %v", err)
+	}
+	eff := f.MustFloats("eff")
+	if eff[0] != 30000 || !math.IsNaN(eff[4]) {
+		t.Errorf("eff = %v", eff)
+	}
+	years := f.MustInts("year")
+	if years[2] != 2021 {
+		t.Errorf("year = %v", years)
+	}
+	vendors := f.MustStrings("vendor")
+	if vendors[1] != "Intel" {
+		t.Errorf("vendor = %v", vendors)
+	}
+}
+
+func TestColumnConversions(t *testing.T) {
+	ic := IntCol("x", []int64{1, 0, 3})
+	if fs := ic.Floats(); fs[2] != 3 {
+		t.Errorf("int→float = %v", fs)
+	}
+	if bs := ic.Bools(); !bs[0] || bs[1] {
+		t.Errorf("int→bool = %v", bs)
+	}
+	sc := StringCol("s", []string{"1.5", "x", "2"})
+	fs := sc.Floats()
+	if fs[0] != 1.5 || !math.IsNaN(fs[1]) || fs[2] != 2 {
+		t.Errorf("string→float = %v", fs)
+	}
+	bc := BoolCol("b", []bool{true, false})
+	if ss := bc.Strings(); ss[0] != "true" || ss[1] != "false" {
+		t.Errorf("bool→string = %v", ss)
+	}
+	fc := FloatCol("f", []float64{2.9, math.NaN()})
+	if is := fc.Ints(); is[0] != 2 || is[1] != 0 {
+		t.Errorf("float→int = %v", is)
+	}
+}
+
+func TestAccessorCopies(t *testing.T) {
+	f := sample()
+	eff := f.MustFloats("eff")
+	eff[0] = -1
+	if f.MustFloats("eff")[0] != 30000 {
+		t.Fatal("Floats must return a copy")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	f := sample()
+	vendors := f.MustStrings("vendor")
+	amd := f.Filter(func(i int) bool { return vendors[i] == "AMD" })
+	if amd.Len() != 3 {
+		t.Fatalf("AMD rows = %d", amd.Len())
+	}
+	for _, v := range amd.MustStrings("vendor") {
+		if v != "AMD" {
+			t.Fatal("filter leaked non-AMD row")
+		}
+	}
+	// Original untouched.
+	if f.Len() != 5 {
+		t.Fatal("filter mutated source")
+	}
+}
+
+func TestFilterMask(t *testing.T) {
+	f := sample()
+	sub, err := f.FilterMask([]bool{true, false, false, false, true})
+	if err != nil || sub.Len() != 2 {
+		t.Fatalf("mask filter: %v len=%d", err, sub.Len())
+	}
+	if _, err := f.FilterMask([]bool{true}); err == nil {
+		t.Error("short mask should error")
+	}
+}
+
+func TestSelectAndWithColumn(t *testing.T) {
+	f := sample()
+	sub, err := f.Select("eff", "vendor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.Names(); got[0] != "eff" || got[1] != "vendor" || len(got) != 2 {
+		t.Errorf("Select names = %v", got)
+	}
+	if _, err := f.Select("missing"); err == nil {
+		t.Error("selecting missing column should error")
+	}
+
+	f2, err := f.WithColumn(FloatCol("tdp", []float64{280, 350, 280, 350, 360}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumCols() != 5 || f.NumCols() != 4 {
+		t.Error("WithColumn must not mutate receiver")
+	}
+	// Replacement keeps position.
+	f3, err := f2.WithColumn(FloatCol("tdp", []float64{1, 2, 3, 4, 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.NumCols() != 5 || f3.MustFloats("tdp")[0] != 1 {
+		t.Error("WithColumn replace failed")
+	}
+	if _, err := f.WithColumn(FloatCol("bad", []float64{1})); err == nil {
+		t.Error("wrong-length column should error")
+	}
+}
+
+func TestHead(t *testing.T) {
+	f := sample()
+	if got := f.Head(2).Len(); got != 2 {
+		t.Errorf("Head(2) = %d rows", got)
+	}
+	if got := f.Head(99).Len(); got != 5 {
+		t.Errorf("Head(99) = %d rows", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	f := sample()
+	both, err := f.Concat(f)
+	if err != nil || both.Len() != 10 {
+		t.Fatalf("concat: %v len=%d", err, both.Len())
+	}
+	other := MustNew(StringCol("vendor", []string{"x"}))
+	if _, err := f.Concat(other); err == nil {
+		t.Error("mismatched concat should error")
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	f := sample()
+	sorted, err := f.SortBy(Asc("year"), Desc("eff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := sorted.MustInts("year")
+	effs := sorted.MustFloats("eff")
+	for i := 1; i < len(years); i++ {
+		if years[i-1] > years[i] {
+			t.Fatalf("years out of order: %v", years)
+		}
+		if years[i-1] == years[i] && !math.IsNaN(effs[i]) && effs[i-1] < effs[i] {
+			t.Fatalf("eff not descending within year: %v", effs)
+		}
+	}
+	// NaN sorts last within its year group.
+	if !math.IsNaN(effs[len(effs)-1]) {
+		t.Errorf("NaN should sort last: %v", effs)
+	}
+	if _, err := f.SortBy(); err == nil {
+		t.Error("no keys should error")
+	}
+	if _, err := f.SortBy(Asc("missing")); err == nil {
+		t.Error("missing key should error")
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	f := MustNew(
+		IntCol("k", []int64{1, 1, 1, 1}),
+		StringCol("tag", []string{"a", "b", "c", "d"}),
+	)
+	sorted, err := f.SortBy(Asc("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(sorted.MustStrings("tag"), "")
+	if got != "abcd" {
+		t.Errorf("stable sort broke ties: %q", got)
+	}
+}
+
+func TestStringPreview(t *testing.T) {
+	f := sample()
+	s := f.String()
+	if !strings.Contains(s, "5 rows") || !strings.Contains(s, "vendor") {
+		t.Errorf("preview = %q", s)
+	}
+	big := MustNew(IntCol("x", make([]int64, 20)))
+	if !strings.Contains(big.String(), "more rows") {
+		t.Error("long frame preview should be truncated")
+	}
+}

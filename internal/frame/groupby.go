@@ -1,0 +1,164 @@
+package frame
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// keySep joins composite group keys; the unit separator cannot occur in
+// the corpus's string values.
+const keySep = "\x1f"
+
+// Grouped is the result of Frame.GroupBy: row indices partitioned by the
+// values of one or more key columns.
+type Grouped struct {
+	src     *Frame
+	byCols  []string
+	keys    []string         // composite keys in first-appearance order
+	indices map[string][]int // key → rows in the source frame
+}
+
+// GroupBy partitions the frame's rows by the values of the named
+// columns.
+func (f *Frame) GroupBy(cols ...string) (*Grouped, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("frame: GroupBy needs at least one column")
+	}
+	keyCols := make([]*Column, len(cols))
+	for i, name := range cols {
+		c, err := f.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		keyCols[i] = c
+	}
+	g := &Grouped{
+		src:     f,
+		byCols:  append([]string(nil), cols...),
+		indices: make(map[string][]int),
+	}
+	parts := make([]string, len(keyCols))
+	for row := 0; row < f.n; row++ {
+		for i, c := range keyCols {
+			parts[i] = c.valueString(row)
+		}
+		key := strings.Join(parts, keySep)
+		if _, seen := g.indices[key]; !seen {
+			g.keys = append(g.keys, key)
+		}
+		g.indices[key] = append(g.indices[key], row)
+	}
+	return g, nil
+}
+
+// NumGroups returns the number of distinct keys.
+func (g *Grouped) NumGroups() int { return len(g.keys) }
+
+// Keys returns the composite keys in first-appearance order; each entry
+// has one part per grouping column.
+func (g *Grouped) Keys() [][]string {
+	out := make([][]string, len(g.keys))
+	for i, k := range g.keys {
+		out[i] = strings.Split(k, keySep)
+	}
+	return out
+}
+
+// SortedKeys returns the keys in lexicographic order of their parts.
+func (g *Grouped) SortedKeys() [][]string {
+	keys := append([]string(nil), g.keys...)
+	sort.Strings(keys)
+	out := make([][]string, len(keys))
+	for i, k := range keys {
+		out[i] = strings.Split(k, keySep)
+	}
+	return out
+}
+
+// Group returns the sub-frame for one key (parts in grouping-column
+// order), or an error for unknown keys.
+func (g *Grouped) Group(parts ...string) (*Frame, error) {
+	key := strings.Join(parts, keySep)
+	rows, ok := g.indices[key]
+	if !ok {
+		return nil, fmt.Errorf("frame: no group %v", parts)
+	}
+	return g.src.take(rows), nil
+}
+
+// Size returns the row count for one key, 0 for unknown keys.
+func (g *Grouped) Size(parts ...string) int {
+	return len(g.indices[strings.Join(parts, keySep)])
+}
+
+// Each calls fn for every group in first-appearance order.
+func (g *Grouped) Each(fn func(key []string, sub *Frame) error) error {
+	for _, k := range g.keys {
+		sub := g.src.take(g.indices[k])
+		if err := fn(strings.Split(k, keySep), sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AggFloat reduces one float column per group. The result frame has the
+// grouping columns (as strings), a "count" int column, and the reduced
+// value under outName, rows in first-appearance order.
+func (g *Grouped) AggFloat(col, outName string, reduce func([]float64) float64) (*Frame, error) {
+	src, err := g.src.Col(col)
+	if err != nil {
+		return nil, err
+	}
+	vals := src.Floats()
+
+	keyParts := make([][]string, len(g.byCols))
+	for i := range keyParts {
+		keyParts[i] = make([]string, 0, len(g.keys))
+	}
+	counts := make([]int64, 0, len(g.keys))
+	out := make([]float64, 0, len(g.keys))
+	for _, k := range g.keys {
+		rows := g.indices[k]
+		buf := make([]float64, len(rows))
+		for j, r := range rows {
+			buf[j] = vals[r]
+		}
+		parts := strings.Split(k, keySep)
+		for i, p := range parts {
+			keyParts[i] = append(keyParts[i], p)
+		}
+		counts = append(counts, int64(len(rows)))
+		out = append(out, reduce(buf))
+	}
+	cols := make([]*Column, 0, len(g.byCols)+2)
+	for i, name := range g.byCols {
+		cols = append(cols, StringCol(name, keyParts[i]))
+	}
+	cols = append(cols, IntCol("count", counts), FloatCol(outName, out))
+	return New(cols...)
+}
+
+// Counts returns a frame of group sizes: the grouping columns plus a
+// "count" int column, rows in first-appearance order.
+func (g *Grouped) Counts() (*Frame, error) {
+	keyParts := make([][]string, len(g.byCols))
+	for i := range keyParts {
+		keyParts[i] = make([]string, 0, len(g.keys))
+	}
+	counts := make([]int64, 0, len(g.keys))
+	for _, k := range g.keys {
+		parts := strings.Split(k, keySep)
+		for i, p := range parts {
+			keyParts[i] = append(keyParts[i], p)
+		}
+		counts = append(counts, int64(len(g.indices[k])))
+	}
+	cols := make([]*Column, 0, len(g.byCols)+1)
+	for i, name := range g.byCols {
+		cols = append(cols, StringCol(name, keyParts[i]))
+	}
+	cols = append(cols, IntCol("count", counts))
+	return New(cols...)
+}

@@ -1,0 +1,200 @@
+package frame
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestGroupByBasic(t *testing.T) {
+	f := sample()
+	g, err := f.GroupBy("vendor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGroups() != 2 {
+		t.Fatalf("NumGroups = %d", g.NumGroups())
+	}
+	if g.Size("AMD") != 3 || g.Size("Intel") != 2 {
+		t.Errorf("sizes: AMD=%d Intel=%d", g.Size("AMD"), g.Size("Intel"))
+	}
+	if g.Size("VIA") != 0 {
+		t.Error("unknown group should have size 0")
+	}
+	amd, err := g.Group("AMD")
+	if err != nil || amd.Len() != 3 {
+		t.Fatalf("Group(AMD): %v len=%d", err, amd.Len())
+	}
+	if _, err := g.Group("VIA"); err == nil {
+		t.Error("unknown group should error")
+	}
+}
+
+func TestGroupByComposite(t *testing.T) {
+	f := sample()
+	g, err := f.GroupBy("vendor", "year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGroups() != 4 {
+		t.Fatalf("NumGroups = %d", g.NumGroups())
+	}
+	if g.Size("AMD", "2021") != 2 {
+		t.Errorf("AMD 2021 = %d", g.Size("AMD", "2021"))
+	}
+	keys := g.SortedKeys()
+	if len(keys) != 4 || len(keys[0]) != 2 {
+		t.Fatalf("SortedKeys = %v", keys)
+	}
+	// Lexicographic: AMD < Intel.
+	if keys[0][0] != "AMD" {
+		t.Errorf("first sorted key = %v", keys[0])
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	f := sample()
+	if _, err := f.GroupBy(); err == nil {
+		t.Error("no columns should error")
+	}
+	if _, err := f.GroupBy("missing"); err == nil {
+		t.Error("missing column should error")
+	}
+}
+
+func TestAggFloat(t *testing.T) {
+	f := sample()
+	g, err := f.GroupBy("vendor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := g.AggFloat("eff", "mean_eff", stats.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Len() != 2 {
+		t.Fatalf("agg rows = %d", agg.Len())
+	}
+	vendors := agg.MustStrings("vendor")
+	means := agg.MustFloats("mean_eff")
+	counts := agg.MustInts("count")
+	byVendor := map[string]float64{}
+	countBy := map[string]int64{}
+	for i, v := range vendors {
+		byVendor[v] = means[i]
+		countBy[v] = counts[i]
+	}
+	// AMD: mean of {30000, 35000, NaN} skipping NaN = 32500.
+	if got := byVendor["AMD"]; math.Abs(got-32500) > 1e-9 {
+		t.Errorf("AMD mean = %v", got)
+	}
+	if got := byVendor["Intel"]; math.Abs(got-13500) > 1e-9 {
+		t.Errorf("Intel mean = %v", got)
+	}
+	if countBy["AMD"] != 3 {
+		t.Errorf("AMD count = %d (NaN row still counts as a row)", countBy["AMD"])
+	}
+	if _, err := g.AggFloat("missing", "x", stats.Mean); err == nil {
+		t.Error("missing column should error")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	f := sample()
+	g, _ := f.GroupBy("year")
+	counts, err := g.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, c := range counts.MustInts("count") {
+		total += c
+	}
+	if total != int64(f.Len()) {
+		t.Fatalf("group sizes sum to %d, want %d", total, f.Len())
+	}
+}
+
+func TestEachVisitsAllRows(t *testing.T) {
+	f := sample()
+	g, _ := f.GroupBy("vendor", "year")
+	visited := 0
+	err := g.Each(func(key []string, sub *Frame) error {
+		if len(key) != 2 {
+			t.Errorf("key parts = %v", key)
+		}
+		visited += sub.Len()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != f.Len() {
+		t.Fatalf("visited %d rows, want %d", visited, f.Len())
+	}
+}
+
+// Property: group sizes always partition the frame.
+func TestGroupPartitionInvariant(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		keys := make([]string, len(vals))
+		for i, v := range vals {
+			keys[i] = string(rune('a' + v%5))
+		}
+		fr := MustNew(StringCol("k", keys))
+		g, err := fr.GroupBy("k")
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, parts := range g.Keys() {
+			total += g.Size(parts...)
+		}
+		return total == fr.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-group mean lies within the group min/max.
+func TestGroupMeanBounds(t *testing.T) {
+	f := func(vals []float64, tags []uint8) bool {
+		n := len(vals)
+		if n == 0 || len(tags) == 0 {
+			return true
+		}
+		keys := make([]string, n)
+		clean := make([]float64, n)
+		for i := range vals {
+			keys[i] = string(rune('a' + tags[i%len(tags)]%3))
+			clean[i] = math.Mod(vals[i], 1e6)
+			if math.IsNaN(clean[i]) {
+				clean[i] = 0
+			}
+		}
+		fr := MustNew(StringCol("k", keys), FloatCol("v", clean))
+		g, err := fr.GroupBy("k")
+		if err != nil {
+			return false
+		}
+		ok := true
+		_ = g.Each(func(_ []string, sub *Frame) error {
+			vs := sub.MustFloats("v")
+			m := stats.Mean(vs)
+			if m < stats.Min(vs)-1e-9 || m > stats.Max(vs)+1e-9 {
+				ok = false
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeftJoin joins other onto the receiver by equality of the named key
+// column (compared as strings). Every row of the receiver appears once
+// in the result; matching rows contribute other's non-key columns, and
+// unmatched rows get NaN/zero values. If a key occurs several times in
+// other, the first occurrence wins (and is reported via the returned
+// duplicate count).
+//
+// Column name collisions from other are suffixed with "_right".
+func (f *Frame) LeftJoin(other *Frame, key string) (*Frame, int, error) {
+	lk, err := f.Col(key)
+	if err != nil {
+		return nil, 0, fmt.Errorf("frame: left join: %w", err)
+	}
+	rk, err := other.Col(key)
+	if err != nil {
+		return nil, 0, fmt.Errorf("frame: right join: %w", err)
+	}
+	// Index the right side.
+	index := make(map[string]int, other.n)
+	duplicates := 0
+	for i := 0; i < other.n; i++ {
+		k := rk.valueString(i)
+		if _, seen := index[k]; seen {
+			duplicates++
+			continue
+		}
+		index[k] = i
+	}
+	// Row mapping: left row → right row (-1 = no match).
+	match := make([]int, f.n)
+	for i := 0; i < f.n; i++ {
+		if j, ok := index[lk.valueString(i)]; ok {
+			match[i] = j
+		} else {
+			match[i] = -1
+		}
+	}
+	cols := make([]*Column, 0, len(f.cols)+len(other.cols)-1)
+	for _, c := range f.cols {
+		cols = append(cols, c.clone(c.name))
+	}
+	for _, rc := range other.cols {
+		if rc.name == key {
+			continue
+		}
+		name := rc.name
+		if f.Has(name) {
+			name += "_right"
+		}
+		cols = append(cols, gatherColumn(rc, name, match))
+	}
+	joined, err := New(cols...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return joined, duplicates, nil
+}
+
+// gatherColumn builds a column of len(match) rows taking src[match[i]],
+// with missing-value fill for match[i] < 0.
+func gatherColumn(src *Column, name string, match []int) *Column {
+	switch src.kind {
+	case KindFloat:
+		vals := make([]float64, len(match))
+		for i, j := range match {
+			if j < 0 {
+				vals[i] = math.NaN()
+			} else {
+				vals[i] = src.f[j]
+			}
+		}
+		return FloatCol(name, vals)
+	case KindInt:
+		// Ints cannot express missing; promote to float with NaN.
+		vals := make([]float64, len(match))
+		for i, j := range match {
+			if j < 0 {
+				vals[i] = math.NaN()
+			} else {
+				vals[i] = float64(src.i[j])
+			}
+		}
+		return FloatCol(name, vals)
+	case KindBool:
+		vals := make([]bool, len(match))
+		for i, j := range match {
+			if j >= 0 {
+				vals[i] = src.b[j]
+			}
+		}
+		return BoolCol(name, vals)
+	default:
+		vals := make([]string, len(match))
+		for i, j := range match {
+			if j >= 0 {
+				vals[i] = src.s[j]
+			}
+		}
+		return StringCol(name, vals)
+	}
+}

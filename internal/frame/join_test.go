@@ -1,0 +1,113 @@
+package frame
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLeftJoin(t *testing.T) {
+	left := MustNew(
+		StringCol("cpu", []string{"9754", "8490H", "9654", "unknown"}),
+		IntCol("year", []int64{2023, 2023, 2022, 2020}),
+	)
+	right := MustNew(
+		StringCol("cpu", []string{"9754", "9654", "8490H"}),
+		FloatCol("tdp", []float64{360, 360, 350}),
+		StringCol("vendor", []string{"AMD", "AMD", "Intel"}),
+	)
+	joined, dups, err := left.LeftJoin(right, "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dups != 0 {
+		t.Errorf("dups = %d", dups)
+	}
+	if joined.Len() != 4 || joined.NumCols() != 4 {
+		t.Fatalf("shape %d×%d", joined.Len(), joined.NumCols())
+	}
+	tdp := joined.MustFloats("tdp")
+	if tdp[0] != 360 || tdp[1] != 350 || tdp[2] != 360 || !math.IsNaN(tdp[3]) {
+		t.Errorf("tdp = %v", tdp)
+	}
+	vendors := joined.MustStrings("vendor")
+	if vendors[1] != "Intel" || vendors[3] != "" {
+		t.Errorf("vendor = %v", vendors)
+	}
+	// Left frame untouched.
+	if left.NumCols() != 2 {
+		t.Error("join mutated left frame")
+	}
+}
+
+func TestLeftJoinDuplicatesFirstWins(t *testing.T) {
+	left := MustNew(StringCol("k", []string{"a"}))
+	right := MustNew(
+		StringCol("k", []string{"a", "a"}),
+		FloatCol("v", []float64{1, 2}),
+	)
+	joined, dups, err := left.LeftJoin(right, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dups != 1 {
+		t.Errorf("dups = %d", dups)
+	}
+	if got := joined.MustFloats("v")[0]; got != 1 {
+		t.Errorf("v = %v, want first occurrence", got)
+	}
+}
+
+func TestLeftJoinNameCollision(t *testing.T) {
+	left := MustNew(
+		StringCol("k", []string{"a"}),
+		FloatCol("v", []float64{10}),
+	)
+	right := MustNew(
+		StringCol("k", []string{"a"}),
+		FloatCol("v", []float64{99}),
+	)
+	joined, _, err := left.LeftJoin(right, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !joined.Has("v_right") {
+		t.Fatalf("collision column missing: %v", joined.Names())
+	}
+	if joined.MustFloats("v")[0] != 10 || joined.MustFloats("v_right")[0] != 99 {
+		t.Error("collision values wrong")
+	}
+}
+
+func TestLeftJoinIntPromotion(t *testing.T) {
+	left := MustNew(StringCol("k", []string{"a", "b"}))
+	right := MustNew(
+		StringCol("k", []string{"a"}),
+		IntCol("n", []int64{7}),
+	)
+	joined, _, err := left.LeftJoin(right, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := joined.Col("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind() != KindFloat {
+		t.Errorf("int column should promote to float for missing values, got %v", c.Kind())
+	}
+	vals := joined.MustFloats("n")
+	if vals[0] != 7 || !math.IsNaN(vals[1]) {
+		t.Errorf("n = %v", vals)
+	}
+}
+
+func TestLeftJoinErrors(t *testing.T) {
+	left := MustNew(StringCol("k", []string{"a"}))
+	right := MustNew(StringCol("other", []string{"a"}))
+	if _, _, err := left.LeftJoin(right, "k"); err == nil {
+		t.Error("missing right key should error")
+	}
+	if _, _, err := left.LeftJoin(right, "nope"); err == nil {
+		t.Error("missing left key should error")
+	}
+}

@@ -1,0 +1,165 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Pivot builds a two-dimensional aggregation table: rows are the
+// distinct values of rowCol, columns the distinct values of colCol
+// (both rendered as strings, lexicographically ordered), and each cell
+// reduces valCol over the matching rows. Empty cells are NaN.
+//
+// The result frame has rowCol as its first (string) column followed by
+// one float column per distinct colCol value.
+func (f *Frame) Pivot(rowCol, colCol, valCol string, reduce func([]float64) float64) (*Frame, error) {
+	rc, err := f.Col(rowCol)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := f.Col(colCol)
+	if err != nil {
+		return nil, err
+	}
+	vc, err := f.Col(valCol)
+	if err != nil {
+		return nil, err
+	}
+	vals := vc.Floats()
+
+	type cell struct{ row, col string }
+	buckets := map[cell][]float64{}
+	rowSet := map[string]bool{}
+	colSet := map[string]bool{}
+	for i := 0; i < f.n; i++ {
+		r, c := rc.valueString(i), cc.valueString(i)
+		rowSet[r] = true
+		colSet[c] = true
+		key := cell{r, c}
+		buckets[key] = append(buckets[key], vals[i])
+	}
+	rows := sortedKeys(rowSet)
+	colsNames := sortedKeys(colSet)
+
+	out := make([]*Column, 0, len(colsNames)+1)
+	out = append(out, StringCol(rowCol, rows))
+	for _, cn := range colsNames {
+		col := make([]float64, len(rows))
+		for ri, rn := range rows {
+			vs, ok := buckets[cell{rn, cn}]
+			if !ok {
+				col[ri] = math.NaN()
+				continue
+			}
+			col[ri] = reduce(vs)
+		}
+		name := cn
+		if name == rowCol {
+			name = colCol + "=" + cn // avoid clashing with the row column
+		}
+		out = append(out, FloatCol(name, col))
+	}
+	return New(out...)
+}
+
+// PivotCount is Pivot with a row-count aggregation (valCol ignored
+// beyond existence checks are unnecessary — counts need no values).
+func (f *Frame) PivotCount(rowCol, colCol string) (*Frame, error) {
+	rc, err := f.Col(rowCol)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := f.Col(colCol)
+	if err != nil {
+		return nil, err
+	}
+	type cell struct{ row, col string }
+	counts := map[cell]float64{}
+	rowSet := map[string]bool{}
+	colSet := map[string]bool{}
+	for i := 0; i < f.n; i++ {
+		r, c := rc.valueString(i), cc.valueString(i)
+		rowSet[r] = true
+		colSet[c] = true
+		counts[cell{r, c}]++
+	}
+	rows := sortedKeys(rowSet)
+	colsNames := sortedKeys(colSet)
+	out := make([]*Column, 0, len(colsNames)+1)
+	out = append(out, StringCol(rowCol, rows))
+	for _, cn := range colsNames {
+		col := make([]float64, len(rows))
+		for ri, rn := range rows {
+			col[ri] = counts[cell{rn, cn}]
+		}
+		name := cn
+		if name == rowCol {
+			name = colCol + "=" + cn
+		}
+		out = append(out, FloatCol(name, col))
+	}
+	return New(out...)
+}
+
+// Describe summarizes every numeric (float/int) column of the frame:
+// the result has one row per column with count/mean/std/min/quartiles.
+func (f *Frame) Describe() (*Frame, error) {
+	var names []string
+	var summaries []stats.Summary
+	for _, name := range f.Names() {
+		c, err := f.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		if c.Kind() != KindFloat && c.Kind() != KindInt {
+			continue
+		}
+		names = append(names, name)
+		summaries = append(summaries, stats.Describe(c.Floats()))
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("frame: Describe: no numeric columns")
+	}
+	n := len(names)
+	counts := make([]int64, n)
+	means := make([]float64, n)
+	stds := make([]float64, n)
+	mins := make([]float64, n)
+	q25s := make([]float64, n)
+	meds := make([]float64, n)
+	q75s := make([]float64, n)
+	maxs := make([]float64, n)
+	for i, s := range summaries {
+		counts[i] = int64(s.N)
+		means[i] = s.Mean
+		stds[i] = s.Std
+		mins[i] = s.Min
+		q25s[i] = s.Q25
+		meds[i] = s.Median
+		q75s[i] = s.Q75
+		maxs[i] = s.Max
+	}
+	return New(
+		StringCol("column", names),
+		IntCol("count", counts),
+		FloatCol("mean", means),
+		FloatCol("std", stds),
+		FloatCol("min", mins),
+		FloatCol("q25", q25s),
+		FloatCol("median", meds),
+		FloatCol("q75", q75s),
+		FloatCol("max", maxs),
+	)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

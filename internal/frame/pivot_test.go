@@ -1,0 +1,134 @@
+package frame
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func pivotSample() *Frame {
+	return MustNew(
+		StringCol("vendor", []string{"AMD", "Intel", "AMD", "Intel", "AMD", "Intel"}),
+		IntCol("year", []int64{2020, 2020, 2021, 2021, 2021, 2020}),
+		FloatCol("eff", []float64{30, 12, 35, 15, 33, 14}),
+	)
+}
+
+func TestPivotMeans(t *testing.T) {
+	f := pivotSample()
+	p, err := f.Pivot("year", "vendor", "eff", stats.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.NumCols() != 3 {
+		t.Fatalf("pivot shape %d×%d", p.Len(), p.NumCols())
+	}
+	years := p.MustStrings("year")
+	amd := p.MustFloats("AMD")
+	intel := p.MustFloats("Intel")
+	if years[0] != "2020" || years[1] != "2021" {
+		t.Fatalf("rows = %v", years)
+	}
+	if amd[0] != 30 || math.Abs(amd[1]-34) > 1e-9 {
+		t.Errorf("AMD = %v", amd)
+	}
+	if math.Abs(intel[0]-13) > 1e-9 || intel[1] != 15 {
+		t.Errorf("Intel = %v", intel)
+	}
+}
+
+func TestPivotEmptyCellIsNaN(t *testing.T) {
+	f := MustNew(
+		StringCol("vendor", []string{"AMD", "Intel"}),
+		IntCol("year", []int64{2020, 2021}),
+		FloatCol("eff", []float64{30, 15}),
+	)
+	p, err := f.Pivot("year", "vendor", "eff", stats.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd := p.MustFloats("AMD")
+	if amd[0] != 30 || !math.IsNaN(amd[1]) {
+		t.Errorf("AMD = %v", amd)
+	}
+}
+
+func TestPivotErrors(t *testing.T) {
+	f := pivotSample()
+	if _, err := f.Pivot("nope", "vendor", "eff", stats.Mean); err == nil {
+		t.Error("missing row column should error")
+	}
+	if _, err := f.Pivot("year", "nope", "eff", stats.Mean); err == nil {
+		t.Error("missing col column should error")
+	}
+	if _, err := f.Pivot("year", "vendor", "nope", stats.Mean); err == nil {
+		t.Error("missing val column should error")
+	}
+}
+
+func TestPivotCount(t *testing.T) {
+	f := pivotSample()
+	p, err := f.PivotCount("year", "vendor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd := p.MustFloats("AMD")
+	intel := p.MustFloats("Intel")
+	if amd[0] != 1 || amd[1] != 2 || intel[0] != 2 || intel[1] != 1 {
+		t.Errorf("counts AMD=%v Intel=%v", amd, intel)
+	}
+	// Total equals frame length.
+	total := 0.0
+	for _, v := range append(amd, intel...) {
+		total += v
+	}
+	if int(total) != f.Len() {
+		t.Errorf("pivot counts sum to %v, want %d", total, f.Len())
+	}
+}
+
+func TestPivotNameClash(t *testing.T) {
+	// A column value equal to the row column's name must not collide.
+	f := MustNew(
+		StringCol("a", []string{"x", "y"}),
+		StringCol("b", []string{"a", "a"}),
+		FloatCol("v", []float64{1, 2}),
+	)
+	p, err := f.Pivot("a", "b", "v", stats.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Has("b=a") {
+		t.Errorf("clash column missing; names = %v", p.Names())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	f := pivotSample()
+	d, err := f.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric columns only: year and eff.
+	if d.Len() != 2 {
+		t.Fatalf("describe rows = %d", d.Len())
+	}
+	cols := d.MustStrings("column")
+	if cols[0] != "year" || cols[1] != "eff" {
+		t.Fatalf("columns = %v", cols)
+	}
+	means := d.MustFloats("mean")
+	if math.Abs(means[1]-(30.0+12+35+15+33+14)/6) > 1e-9 {
+		t.Errorf("eff mean = %v", means[1])
+	}
+	counts := d.MustInts("count")
+	if counts[0] != 6 {
+		t.Errorf("year count = %d", counts[0])
+	}
+	// No numeric columns → error.
+	s := MustNew(StringCol("x", []string{"a"}))
+	if _, err := s.Describe(); err == nil {
+		t.Error("all-string frame should error")
+	}
+}

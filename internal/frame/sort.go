@@ -1,0 +1,46 @@
+package frame
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortKey names a column and a direction for SortBy.
+type SortKey struct {
+	Col        string
+	Descending bool
+}
+
+// Asc and Desc build sort keys.
+func Asc(col string) SortKey  { return SortKey{Col: col} }
+func Desc(col string) SortKey { return SortKey{Col: col, Descending: true} }
+
+// SortBy returns a new frame with rows stably ordered by the given keys
+// (first key is most significant).
+func (f *Frame) SortBy(keys ...SortKey) (*Frame, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("frame: SortBy needs at least one key")
+	}
+	cols := make([]*Column, len(keys))
+	for i, k := range keys {
+		c, err := f.Col(k.Col)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	rows := make([]int, f.n)
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		ra, rb := rows[a], rows[b]
+		for i, c := range cols {
+			if r := c.cmp(ra, rb, keys[i].Descending); r != 0 {
+				return r < 0
+			}
+		}
+		return false
+	})
+	return f.take(rows), nil
+}

@@ -1,0 +1,210 @@
+// Package integration_test exercises the system end-to-end across
+// module boundaries: workload engine → ptdaemon TCP measurement →
+// report rendering → parsing → classification → analysis, plus the full
+// corpus round trip through the filesystem.
+package integration_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/parser"
+	"repro/internal/power"
+	"repro/internal/ptd"
+	"repro/internal/report"
+	"repro/internal/ssj"
+	"repro/internal/synth"
+)
+
+// TestSSJOverPTDToReportToAnalysis runs the real benchmark engine with
+// a TCP-attached power analyzer, renders the run as a result file,
+// parses it back, and checks it is analysable — the full closed loop
+// that produced the paper's dataset.
+func TestSSJOverPTDToReportToAnalysis(t *testing.T) {
+	spec, err := catalog.Find("EPYC 9554")
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := power.NewCurve(spec, power.SystemConfig{Sockets: 2, MemGB: 384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tracker ptd.LoadTracker
+	server, err := ptd.NewServer(ptd.CurveSource(curve, &tracker), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	meter, err := ptd.Dial(addr, &tracker, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer meter.Close()
+
+	cfg := ssj.DefaultConfig(2)
+	cfg.IntervalDuration = 40 * time.Millisecond
+	cfg.LoadLevels = []int{100, 70, 40, 20, 10}
+	engine, err := ssj.NewEngine(cfg, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := &model.Run{
+		ID: "power_ssj2008-20240601-99999", Accepted: true,
+		TestDate: model.YM(2024, time.May), SubmissionDate: model.YM(2024, time.June),
+		HWAvail: spec.Avail, SWAvail: model.YM(2024, time.April),
+		SystemVendor: "integration", SystemName: "loop",
+		CPUName: spec.Name, CPUVendor: spec.Vendor, CPUClass: spec.Class,
+		Nodes: 1, SocketsPerNode: 2, CoresPerSocket: spec.Cores,
+		ThreadsPerCore: spec.ThreadsPerCore, TotalCores: 2 * spec.Cores,
+		TotalThreads: 2 * spec.Cores * spec.ThreadsPerCore,
+		NominalGHz:   spec.NominalGHz, TDPWatts: spec.TDPWatts,
+		MemGB: 384, PSUWatts: 1100,
+		OSName: "Linux (integration)", OSFamily: model.OSLinux,
+		JVM: "repro engine", Points: res.Points,
+	}
+
+	text := report.RenderString(run)
+	parsed, err := parser.ParseString(text)
+	if err != nil {
+		t.Fatalf("parse rendered live run: %v", err)
+	}
+	if got := model.Classify(parsed); got != model.RejectNone {
+		t.Fatalf("live run classified %v", got)
+	}
+	// Physical sanity of the measured curve.
+	if parsed.IdleFraction() <= 0 || parsed.IdleFraction() >= 0.5 {
+		t.Errorf("idle fraction = %v", parsed.IdleFraction())
+	}
+	if q := parsed.ExtrapolatedIdleQuotient(); q < 1 {
+		t.Errorf("idle quotient = %v, want ≥ 1 for a 2022-era AMD part", q)
+	}
+	if parsed.OverallOpsPerWatt() <= 0 {
+		t.Error("no overall score")
+	}
+	// The analysis layer accepts it.
+	fig := analysis.Fig5IdleFraction([]*model.Run{parsed})
+	if len(fig.Points) != 1 {
+		t.Fatalf("analysis dropped the run")
+	}
+}
+
+// TestFullCorpusDiskRoundTrip is the specgen → specparse pipeline: the
+// default corpus is written to disk, parsed back, and must reproduce
+// the paper's funnel and headline statistics exactly.
+func TestFullCorpusDiskRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes 1017 files")
+	}
+	runs, err := core.GenerateCorpus(synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "corpus")
+	if err := core.WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	study, err := core.LoadStudy(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := study.Dataset.Funnel
+	if f.Raw != 1017 || f.Parsed != 960 || f.Comparable != 676 {
+		t.Fatalf("funnel after disk round trip: %d/%d/%d", f.Raw, f.Parsed, f.Comparable)
+	}
+	// Derived metrics survive the decimal formatting of the reports.
+	direct := core.NewStudy(runs)
+	dEff := analysis.Fig3OverallEfficiency(direct.Dataset.Comparable).Yearly
+	pEff := analysis.Fig3OverallEfficiency(study.Dataset.Comparable).Yearly
+	if len(dEff) != len(pEff) {
+		t.Fatalf("yearly bins differ: %d vs %d", len(dEff), len(pEff))
+	}
+	for i := range dEff {
+		if dEff[i].N != pEff[i].N {
+			t.Errorf("year %d: n %d vs %d", dEff[i].Year, dEff[i].N, pEff[i].N)
+		}
+		if rel := math.Abs(dEff[i].Mean-pEff[i].Mean) / dEff[i].Mean; rel > 0.01 {
+			t.Errorf("year %d: mean eff drifted %.2f%% across render/parse",
+				dEff[i].Year, 100*rel)
+		}
+	}
+	// Top-100 composition is stable across the round trip.
+	a := analysis.TopEfficient(direct.Dataset.Comparable, 100)
+	b := analysis.TopEfficient(study.Dataset.Comparable, 100)
+	if a.ByVendor["AMD"] != b.ByVendor["AMD"] {
+		t.Errorf("top-100 AMD changed across round trip: %d vs %d",
+			a.ByVendor["AMD"], b.ByVendor["AMD"])
+	}
+}
+
+// TestSimMeterVsPTDAgree runs the same engine config against the
+// in-process meter and the TCP meter; the measured power curves must
+// agree closely (D5 design decision).
+func TestSimMeterVsPTDAgree(t *testing.T) {
+	spec, err := catalog.Find("X5570")
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := power.NewCurve(spec, power.SystemConfig{Sockets: 2, MemGB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(meter ssj.Meter) *ssj.Result {
+		cfg := ssj.DefaultConfig(2)
+		cfg.IntervalDuration = 30 * time.Millisecond
+		cfg.LoadLevels = []int{100, 50, 10}
+		engine, err := ssj.NewEngine(cfg, meter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	inproc := runWith(ssj.NewSimMeter(curve, 0, 1))
+
+	var tracker ptd.LoadTracker
+	server, err := ptd.NewServer(ptd.CurveSource(curve, &tracker), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := ptd.Dial(addr, &tracker, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	remote := runWith(client)
+
+	for i, p := range inproc.Points {
+		q := remote.Points[i]
+		if p.TargetLoad != q.TargetLoad {
+			t.Fatalf("point order differs at %d", i)
+		}
+		if rel := math.Abs(p.AvgPower-q.AvgPower) / p.AvgPower; rel > 0.02 {
+			t.Errorf("load %d%%: in-process %.1f W vs ptd %.1f W (%.1f%% apart)",
+				p.TargetLoad, p.AvgPower, q.AvgPower, 100*rel)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// YearMonth is a calendar month with year precision, the resolution SPEC
+// uses for availability dates ("the month at which the system became
+// generally available").
+type YearMonth struct {
+	Year  int
+	Month time.Month
+}
+
+// YM is a convenience constructor.
+func YM(year int, month time.Month) YearMonth {
+	return YearMonth{Year: year, Month: month}
+}
+
+// IsZero reports whether ym is the zero value (no date recorded).
+func (ym YearMonth) IsZero() bool {
+	return ym.Year == 0 && ym.Month == 0
+}
+
+// Valid reports whether ym denotes a real calendar month.
+func (ym YearMonth) Valid() bool {
+	return ym.Year > 0 && ym.Month >= time.January && ym.Month <= time.December
+}
+
+// Before reports whether ym is strictly earlier than other.
+func (ym YearMonth) Before(other YearMonth) bool {
+	if ym.Year != other.Year {
+		return ym.Year < other.Year
+	}
+	return ym.Month < other.Month
+}
+
+// After reports whether ym is strictly later than other.
+func (ym YearMonth) After(other YearMonth) bool {
+	return other.Before(ym)
+}
+
+// Index returns the number of months since January of year 0, a
+// convenient totally ordered integer form.
+func (ym YearMonth) Index() int {
+	return ym.Year*12 + int(ym.Month) - 1
+}
+
+// FromIndex is the inverse of Index.
+func FromIndex(idx int) YearMonth {
+	return YearMonth{Year: idx / 12, Month: time.Month(idx%12 + 1)}
+}
+
+// AddMonths returns ym shifted by n months (n may be negative).
+func (ym YearMonth) AddMonths(n int) YearMonth {
+	return FromIndex(ym.Index() + n)
+}
+
+// Frac returns the date as a fractional year (e.g. Jul 2017 ≈ 2017.54),
+// the x-coordinate used by all trend plots.
+func (ym YearMonth) Frac() float64 {
+	return float64(ym.Year) + (float64(ym.Month)-0.5)/12
+}
+
+// String renders the SPEC report style, e.g. "Feb-2023".
+func (ym YearMonth) String() string {
+	if ym.IsZero() {
+		return "-"
+	}
+	return fmt.Sprintf("%s-%04d", ym.Month.String()[:3], ym.Year)
+}
+
+var monthAbbrev = map[string]time.Month{
+	"jan": time.January, "feb": time.February, "mar": time.March,
+	"apr": time.April, "may": time.May, "jun": time.June,
+	"jul": time.July, "aug": time.August, "sep": time.September,
+	"oct": time.October, "nov": time.November, "dec": time.December,
+}
+
+// ParseYearMonth parses the date spellings found in SPEC result files:
+// "Feb-2023", "Feb 2023", "Feb-23", "02/2023", and "2023-02".
+// It returns an error for anything it cannot understand unambiguously.
+func ParseYearMonth(s string) (YearMonth, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "-" {
+		return YearMonth{}, fmt.Errorf("model: empty date")
+	}
+	norm := strings.NewReplacer("/", " ", "-", " ", ",", " ").Replace(s)
+	fields := strings.Fields(norm)
+	if len(fields) != 2 {
+		return YearMonth{}, fmt.Errorf("model: cannot parse date %q", s)
+	}
+	// Try "Mon Year" first.
+	if m, ok := monthAbbrev[strings.ToLower(trunc3(fields[0]))]; ok {
+		year, err := parseYear(fields[1])
+		if err != nil {
+			return YearMonth{}, fmt.Errorf("model: bad year in date %q: %w", s, err)
+		}
+		return YearMonth{Year: year, Month: m}, nil
+	}
+	// Numeric forms: "MM YYYY" or "YYYY MM".
+	a, errA := atoiStrict(fields[0])
+	b, errB := atoiStrict(fields[1])
+	if errA != nil || errB != nil {
+		return YearMonth{}, fmt.Errorf("model: cannot parse date %q", s)
+	}
+	switch {
+	case a >= 1 && a <= 12 && b >= 1000:
+		return YearMonth{Year: b, Month: time.Month(a)}, nil
+	case b >= 1 && b <= 12 && a >= 1000:
+		return YearMonth{Year: a, Month: time.Month(b)}, nil
+	}
+	return YearMonth{}, fmt.Errorf("model: ambiguous numeric date %q", s)
+}
+
+func trunc3(s string) string {
+	if len(s) > 3 {
+		return s[:3]
+	}
+	return s
+}
+
+func parseYear(s string) (int, error) {
+	y, err := atoiStrict(s)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case y >= 1000:
+		return y, nil
+	case y >= 0 && y < 100:
+		// Two-digit year: SPEC Power spans 2005–2099 in practice.
+		return 2000 + y, nil
+	default:
+		return 0, fmt.Errorf("year %d out of range", y)
+	}
+}
+
+func atoiStrict(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("non-digit %q", r)
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n, nil
+}

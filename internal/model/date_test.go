@@ -1,0 +1,138 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseYearMonth(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    YearMonth
+		wantErr bool
+	}{
+		{"Feb-2023", YM(2023, time.February), false},
+		{"Feb 2023", YM(2023, time.February), false},
+		{"feb-23", YM(2023, time.February), false},
+		{"Aug 23", YM(2023, time.August), false},
+		{"02/2023", YM(2023, time.February), false},
+		{"2023-02", YM(2023, time.February), false},
+		{"December-2007", YM(2007, time.December), false},
+		{"Jul, 2017", YM(2017, time.July), false},
+		{"  Nov-2011 ", YM(2011, time.November), false},
+		{"", YearMonth{}, true},
+		{"-", YearMonth{}, true},
+		{"2023", YearMonth{}, true},
+		{"13/13", YearMonth{}, true}, // no valid month reading
+		{"garbage-2023", YearMonth{}, true},
+		{"02-03", YearMonth{}, true}, // ambiguous numeric
+	}
+	for _, c := range cases {
+		got, err := ParseYearMonth(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseYearMonth(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseYearMonth(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseYearMonth(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestYearMonthRoundTripString(t *testing.T) {
+	ym := YM(2019, time.September)
+	got, err := ParseYearMonth(ym.String())
+	if err != nil {
+		t.Fatalf("parse %q: %v", ym.String(), err)
+	}
+	if got != ym {
+		t.Fatalf("round trip %v -> %q -> %v", ym, ym.String(), got)
+	}
+}
+
+func TestYearMonthOrdering(t *testing.T) {
+	a := YM(2017, time.June)
+	b := YM(2017, time.July)
+	c := YM(2018, time.January)
+	if !a.Before(b) || !b.Before(c) || !a.Before(c) {
+		t.Fatal("Before ordering broken")
+	}
+	if !c.After(a) {
+		t.Fatal("After ordering broken")
+	}
+	if a.Before(a) || a.After(a) {
+		t.Fatal("strict ordering violated for equal values")
+	}
+}
+
+func TestYearMonthIndexInverse(t *testing.T) {
+	f := func(y uint16, m uint8) bool {
+		ym := YM(int(y%200)+1900, time.Month(int(m%12)+1))
+		return FromIndex(ym.Index()) == ym
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYearMonthIndexMonotone(t *testing.T) {
+	f := func(y uint16, m uint8, dy uint8) bool {
+		ym := YM(int(y%200)+1900, time.Month(int(m%12)+1))
+		later := ym.AddMonths(int(dy%120) + 1)
+		return ym.Index() < later.Index() && ym.Before(later)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMonths(t *testing.T) {
+	cases := []struct {
+		in   YearMonth
+		n    int
+		want YearMonth
+	}{
+		{YM(2020, time.January), 1, YM(2020, time.February)},
+		{YM(2020, time.December), 1, YM(2021, time.January)},
+		{YM(2020, time.January), -1, YM(2019, time.December)},
+		{YM(2020, time.June), 12, YM(2021, time.June)},
+		{YM(2020, time.June), -18, YM(2018, time.December)},
+		{YM(2020, time.June), 0, YM(2020, time.June)},
+	}
+	for _, c := range cases {
+		if got := c.in.AddMonths(c.n); got != c.want {
+			t.Errorf("%v.AddMonths(%d) = %v, want %v", c.in, c.n, got, c.want)
+		}
+	}
+}
+
+func TestFrac(t *testing.T) {
+	jan := YM(2017, time.January).Frac()
+	dec := YM(2017, time.December).Frac()
+	if !(jan > 2017.0 && jan < 2017.1) {
+		t.Errorf("Frac(Jan 2017) = %v", jan)
+	}
+	if !(dec > 2017.9 && dec < 2018.0) {
+		t.Errorf("Frac(Dec 2017) = %v", dec)
+	}
+	if jan >= dec {
+		t.Errorf("Frac not monotone within year: %v >= %v", jan, dec)
+	}
+}
+
+func TestZeroDate(t *testing.T) {
+	var ym YearMonth
+	if !ym.IsZero() || ym.Valid() {
+		t.Fatal("zero YearMonth should be zero and invalid")
+	}
+	if ym.String() != "-" {
+		t.Fatalf("zero String = %q", ym.String())
+	}
+}

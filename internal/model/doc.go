@@ -1,0 +1,11 @@
+// Package model defines the core data types shared by the whole
+// specpower-trends system: benchmark runs, per-load-level measurements,
+// CPU and system metadata, year-month dates, and the validation reasons
+// used by the filtering pipeline.
+//
+// The types mirror the fields of a published SPECpower_ssj2008 result
+// ("Result File Fields", SPEC 2018): every run carries four dates (test,
+// submission, hardware availability, software availability), hardware and
+// software stack descriptors, and eleven measurement intervals — the
+// graduated load levels 100 %, 90 %, …, 10 % plus active idle.
+package model

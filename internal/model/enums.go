@@ -1,0 +1,144 @@
+package model
+
+import "strings"
+
+// CPUVendor identifies the processor manufacturer.
+type CPUVendor int
+
+// CPU vendors observed in the SPEC Power corpus.
+const (
+	VendorUnknown CPUVendor = iota
+	VendorIntel
+	VendorAMD
+	VendorOther // e.g. Sun UltraSPARC, IBM POWER, Ampere
+)
+
+// String returns the display name used in figures.
+func (v CPUVendor) String() string {
+	switch v {
+	case VendorIntel:
+		return "Intel"
+	case VendorAMD:
+		return "AMD"
+	case VendorOther:
+		return "Other"
+	default:
+		return "Unknown"
+	}
+}
+
+// ParseCPUVendor classifies a free-form vendor or CPU-name string.
+func ParseCPUVendor(s string) CPUVendor {
+	l := strings.ToLower(s)
+	switch {
+	case strings.Contains(l, "intel") || strings.Contains(l, "xeon"):
+		return VendorIntel
+	case strings.Contains(l, "amd") || strings.Contains(l, "epyc") ||
+		strings.Contains(l, "opteron"):
+		return VendorAMD
+	case l == "":
+		return VendorUnknown
+	default:
+		return VendorOther
+	}
+}
+
+// OSFamily is the coarse operating-system classification of Figure 1.
+type OSFamily int
+
+// OS families observed in the SPEC Power corpus.
+const (
+	OSUnknown OSFamily = iota
+	OSWindows
+	OSLinux
+	OSMacOS
+	OSOther // Solaris, AIX, …
+)
+
+// String returns the display name used in figures.
+func (o OSFamily) String() string {
+	switch o {
+	case OSWindows:
+		return "Windows"
+	case OSLinux:
+		return "Linux"
+	case OSMacOS:
+		return "macOS"
+	case OSOther:
+		return "Other"
+	default:
+		return "Unknown"
+	}
+}
+
+// ParseOSFamily classifies a free-form operating-system name.
+func ParseOSFamily(s string) OSFamily {
+	l := strings.ToLower(s)
+	switch {
+	case strings.Contains(l, "windows"):
+		return OSWindows
+	case strings.Contains(l, "linux") || strings.Contains(l, "red hat") ||
+		strings.Contains(l, "suse") || strings.Contains(l, "ubuntu") ||
+		strings.Contains(l, "centos"):
+		return OSLinux
+	case strings.Contains(l, "mac os") || strings.Contains(l, "macos") ||
+		strings.Contains(l, "os x"):
+		return OSMacOS
+	case l == "":
+		return OSUnknown
+	default:
+		return OSOther
+	}
+}
+
+// CPUClass is the market segment of the processor. The paper keeps only
+// server/workstation parts: Xeon, Opteron, and EPYC.
+type CPUClass int
+
+// CPU market classes.
+const (
+	ClassUnknown CPUClass = iota
+	ClassXeon
+	ClassOpteron
+	ClassEPYC
+	ClassNonServer // desktop/embedded parts (Core, Athlon, Pentium, …)
+)
+
+// String returns the display name of the class.
+func (c CPUClass) String() string {
+	switch c {
+	case ClassXeon:
+		return "Xeon"
+	case ClassOpteron:
+		return "Opteron"
+	case ClassEPYC:
+		return "EPYC"
+	case ClassNonServer:
+		return "NonServer"
+	default:
+		return "Unknown"
+	}
+}
+
+// ClassifyCPU derives the market class from a CPU model name.
+func ClassifyCPU(name string) CPUClass {
+	l := strings.ToLower(name)
+	switch {
+	case strings.Contains(l, "xeon"):
+		return ClassXeon
+	case strings.Contains(l, "opteron"):
+		return ClassOpteron
+	case strings.Contains(l, "epyc"):
+		return ClassEPYC
+	case l == "":
+		return ClassUnknown
+	default:
+		return ClassNonServer
+	}
+}
+
+// IsServerClass reports whether the class is one the paper keeps
+// (marketed as Xeon, Opteron, or EPYC).
+func (c CPUClass) IsServerClass() bool {
+	return c == ClassXeon || c == ClassOpteron || c == ClassEPYC
+}

@@ -1,0 +1,92 @@
+package model
+
+import "testing"
+
+func TestParseCPUVendor(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CPUVendor
+	}{
+		{"Intel Xeon Platinum 8490H", VendorIntel},
+		{"intel", VendorIntel},
+		{"AMD EPYC 9754", VendorAMD},
+		{"AMD Opteron 6174", VendorAMD},
+		{"Quad-Core AMD Opteron(tm) Processor 2356", VendorAMD},
+		{"Sun UltraSPARC T2", VendorOther},
+		{"IBM POWER7", VendorOther},
+		{"", VendorUnknown},
+	}
+	for _, c := range cases {
+		if got := ParseCPUVendor(c.in); got != c.want {
+			t.Errorf("ParseCPUVendor(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseOSFamily(t *testing.T) {
+	cases := []struct {
+		in   string
+		want OSFamily
+	}{
+		{"Windows Server 2022 Datacenter", OSWindows},
+		{"Microsoft Windows Server 2008 Enterprise x64 Edition", OSWindows},
+		{"SUSE Linux Enterprise Server 15 SP4", OSLinux},
+		{"Red Hat Enterprise Linux release 9.0 (Plow)", OSLinux},
+		{"Ubuntu 22.04 LTS", OSLinux},
+		{"Mac OS X Server 10.5", OSMacOS},
+		{"Solaris 10", OSOther},
+		{"", OSUnknown},
+	}
+	for _, c := range cases {
+		if got := ParseOSFamily(c.in); got != c.want {
+			t.Errorf("ParseOSFamily(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClassifyCPU(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CPUClass
+	}{
+		{"Intel Xeon Platinum 8490H", ClassXeon},
+		{"AMD EPYC 9754", ClassEPYC},
+		{"AMD Opteron 2356", ClassOpteron},
+		{"Intel Core i9-13900K", ClassNonServer},
+		{"Intel Pentium D 950", ClassNonServer},
+		{"", ClassUnknown},
+	}
+	for _, c := range cases {
+		if got := ClassifyCPU(c.in); got != c.want {
+			t.Errorf("ClassifyCPU(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsServerClass(t *testing.T) {
+	for _, c := range []CPUClass{ClassXeon, ClassOpteron, ClassEPYC} {
+		if !c.IsServerClass() {
+			t.Errorf("%v should be server class", c)
+		}
+	}
+	for _, c := range []CPUClass{ClassUnknown, ClassNonServer} {
+		if c.IsServerClass() {
+			t.Errorf("%v should not be server class", c)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if VendorIntel.String() != "Intel" || VendorAMD.String() != "AMD" ||
+		VendorOther.String() != "Other" || VendorUnknown.String() != "Unknown" {
+		t.Error("CPUVendor.String mismatch")
+	}
+	if OSWindows.String() != "Windows" || OSLinux.String() != "Linux" ||
+		OSMacOS.String() != "macOS" {
+		t.Error("OSFamily.String mismatch")
+	}
+	if ClassXeon.String() != "Xeon" || ClassEPYC.String() != "EPYC" ||
+		ClassOpteron.String() != "Opteron" {
+		t.Error("CPUClass.String mismatch")
+	}
+}

@@ -1,0 +1,258 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// ASCIIScatter renders points on a character grid with axes and legend.
+func ASCIIScatter(pts []Pt, ax Axes) string {
+	ax = ax.sized()
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	xlo, xhi := dataRange(xs)
+	ylo, yhi := dataRange(ys)
+	if ax.YMax > ax.YMin {
+		ylo, yhi = ax.YMin, ax.YMax
+	}
+	grid := newGrid(ax.Width, ax.Height)
+	for _, p := range pts {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			continue
+		}
+		grid.set(
+			scale(p.X, xlo, xhi, ax.Width),
+			scale(p.Y, ylo, yhi, ax.Height),
+			markerFor(p.Class),
+		)
+	}
+	return grid.render(ax, xlo, xhi, ylo, yhi, legendASCII(ax.ClassNames))
+}
+
+// ASCIILines renders one or more line series; each series gets the
+// marker of its index.
+func ASCIILines(series []Series, ax Axes) string {
+	ax = ax.sized()
+	var allX, allY []float64
+	for _, s := range series {
+		allX = append(allX, s.X...)
+		allY = append(allY, s.Y...)
+	}
+	xlo, xhi := dataRange(allX)
+	ylo, yhi := dataRange(allY)
+	if ax.YMax > ax.YMin {
+		ylo, yhi = ax.YMin, ax.YMax
+	}
+	grid := newGrid(ax.Width, ax.Height)
+	names := make([]string, len(series))
+	for si, s := range series {
+		names[si] = s.Name
+		for i := range s.X {
+			if i > 0 {
+				// Interpolate between consecutive points for continuity.
+				steps := ax.Width / max(1, len(s.X)-1)
+				for k := 0; k <= steps; k++ {
+					t := float64(k) / float64(max(1, steps))
+					x := s.X[i-1] + (s.X[i]-s.X[i-1])*t
+					y := s.Y[i-1] + (s.Y[i]-s.Y[i-1])*t
+					grid.set(scale(x, xlo, xhi, ax.Width),
+						scale(y, ylo, yhi, ax.Height), markerFor(si))
+				}
+			}
+			grid.set(scale(s.X[i], xlo, xhi, ax.Width),
+				scale(s.Y[i], ylo, yhi, ax.Height), markerFor(si))
+		}
+	}
+	if len(ax.ClassNames) == 0 {
+		ax.ClassNames = names
+	}
+	return grid.render(ax, xlo, xhi, ylo, yhi, legendASCII(ax.ClassNames))
+}
+
+// ASCIIBars renders a horizontal bar chart.
+func ASCIIBars(labels []string, values []float64, ax Axes) string {
+	ax = ax.sized()
+	_, hi := dataRange(values)
+	if hi <= 0 {
+		hi = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if ax.Title != "" {
+		fmt.Fprintf(&b, "%s\n", ax.Title)
+	}
+	for i, v := range values {
+		bar := int(v / hi * float64(ax.Width))
+		if bar < 0 {
+			bar = 0
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "%-*s |%s %s\n", labelW, label,
+			strings.Repeat("=", bar), fmtTick(v))
+	}
+	return b.String()
+}
+
+// ASCIIBoxes renders box plots, one row per labelled box, on a shared
+// horizontal scale (used for Figure 4).
+func ASCIIBoxes(labels []string, boxes []stats.BoxStats, ax Axes) string {
+	ax = ax.sized()
+	var vals []float64
+	for _, bx := range boxes {
+		vals = append(vals, bx.LoWhisk, bx.HiWhisk, bx.Median)
+	}
+	lo, hi := dataRange(vals)
+	if ax.YMax > ax.YMin {
+		lo, hi = ax.YMin, ax.YMax
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if ax.Title != "" {
+		fmt.Fprintf(&b, "%s\n", ax.Title)
+	}
+	for i, bx := range boxes {
+		row := make([]byte, ax.Width+1)
+		for j := range row {
+			row[j] = ' '
+		}
+		put := func(v float64, c byte) {
+			j := scale(v, lo, hi, ax.Width)
+			if j >= 0 && j < len(row) {
+				row[j] = c
+			}
+		}
+		// whisker span
+		from := scale(bx.LoWhisk, lo, hi, ax.Width)
+		to := scale(bx.HiWhisk, lo, hi, ax.Width)
+		for j := from; j <= to && j < len(row); j++ {
+			if j >= 0 {
+				row[j] = '-'
+			}
+		}
+		// box span
+		q1 := scale(bx.Q1, lo, hi, ax.Width)
+		q3 := scale(bx.Q3, lo, hi, ax.Width)
+		for j := q1; j <= q3 && j < len(row); j++ {
+			if j >= 0 {
+				row[j] = '='
+			}
+		}
+		put(bx.LoWhisk, '|')
+		put(bx.HiWhisk, '|')
+		put(bx.Q1, '[')
+		put(bx.Q3, ']')
+		put(bx.Median, 'M')
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "%-*s %s (n=%d)\n", labelW, label, string(row), bx.N)
+	}
+	fmt.Fprintf(&b, "%-*s %s … %s\n", labelW, "scale:", fmtTick(lo), fmtTick(hi))
+	return b.String()
+}
+
+// --- grid machinery ---
+
+type grid struct {
+	w, h  int
+	cells [][]byte
+}
+
+func newGrid(w, h int) *grid {
+	g := &grid{w: w, h: h, cells: make([][]byte, h+1)}
+	for i := range g.cells {
+		g.cells[i] = bytesRepeat(' ', w+1)
+	}
+	return g
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func (g *grid) set(x, y int, c byte) {
+	if x < 0 || y < 0 || x > g.w || y > g.h {
+		return
+	}
+	g.cells[g.h-y][x] = c // y grows upward
+}
+
+func scale(v, lo, hi float64, n int) int {
+	if hi <= lo || math.IsNaN(v) {
+		return -1
+	}
+	return int((v - lo) / (hi - lo) * float64(n))
+}
+
+func (g *grid) render(ax Axes, xlo, xhi, ylo, yhi float64, legend string) string {
+	var b strings.Builder
+	if ax.Title != "" {
+		fmt.Fprintf(&b, "%s\n", ax.Title)
+	}
+	yloS, yhiS := fmtTick(ylo), fmtTick(yhi)
+	gutter := len(yloS)
+	if len(yhiS) > gutter {
+		gutter = len(yhiS)
+	}
+	for i, row := range g.cells {
+		label := strings.Repeat(" ", gutter)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", gutter, yhiS)
+		case len(g.cells) - 1:
+			label = fmt.Sprintf("%*s", gutter, yloS)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", gutter), strings.Repeat("-", g.w+1))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", gutter), g.w-len(fmtTick(xhi))+1, fmtTick(xlo), fmtTick(xhi))
+	if ax.XLabel != "" || ax.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", ax.XLabel, ax.YLabel)
+	}
+	if legend != "" {
+		fmt.Fprintf(&b, "%s\n", legend)
+	}
+	return b.String()
+}
+
+func legendASCII(names []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%c=%s", markerFor(i), n)
+	}
+	return "legend: " + strings.Join(parts, "  ")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pt is one scatter point. Class selects the marker/colour and indexes
+// Axes.ClassNames (legend entries); out-of-range classes share a default
+// style.
+type Pt struct {
+	X, Y  float64
+	Class int
+}
+
+// Series is one named line for line charts.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Axes configures a chart.
+type Axes struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	Width      int // characters (ASCII) or pixels/8 (SVG)
+	Height     int
+	ClassNames []string
+	// YMin/YMax force the y range when both are set (YMax > YMin).
+	YMin, YMax float64
+}
+
+func (ax Axes) sized() Axes {
+	if ax.Width <= 0 {
+		ax.Width = 72
+	}
+	if ax.Height <= 0 {
+		ax.Height = 20
+	}
+	return ax
+}
+
+// dataRange returns [lo, hi] over finite values with a small margin,
+// handling degenerate cases.
+func dataRange(vals []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > hi { // no finite data
+		return 0, 1
+	}
+	if lo == hi {
+		return lo - 0.5, hi + 0.5
+	}
+	margin := (hi - lo) * 0.05
+	return lo - margin, hi + margin
+}
+
+// fmtTick renders an axis value compactly (12000 → "12k").
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+// markers are the ASCII glyphs per class.
+var markers = []byte{'x', 'o', '+', '*', '#', '@'}
+
+func markerFor(class int) byte {
+	if class < 0 || class >= len(markers) {
+		return '.'
+	}
+	return markers[class]
+}
+
+// svgPalette are the stroke/fill colours per class.
+var svgPalette = []string{
+	"#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+}
+
+func colorFor(class int) string {
+	if class < 0 || class >= len(svgPalette) {
+		return "#555555"
+	}
+	return svgPalette[class]
+}

@@ -1,0 +1,8 @@
+// Package plot renders the paper's figures without any external
+// dependency: ASCII charts for terminals (cmd/specanalyze) and SVG
+// documents for files (cmd/specplot).
+//
+// The package is intentionally generic — scatters, line series, bars and
+// box plots over plain float64 data — so the analysis package stays free
+// of presentation concerns and the same renderer serves every figure.
+package plot

@@ -1,0 +1,140 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func scatterPts() []Pt {
+	return []Pt{
+		{X: 2007, Y: 120, Class: 0},
+		{X: 2015, Y: 200, Class: 1},
+		{X: 2023, Y: 330, Class: 0},
+		{X: 2024, Y: math.NaN(), Class: 1}, // must be skipped
+	}
+}
+
+func TestASCIIScatter(t *testing.T) {
+	out := ASCIIScatter(scatterPts(), Axes{
+		Title: "Power per socket", XLabel: "year", YLabel: "W",
+		Width: 40, Height: 10, ClassNames: []string{"AMD", "Intel"},
+	})
+	for _, want := range []string{"Power per socket", "legend:", "AMD", "Intel", "x:", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "o") {
+		t.Error("markers missing")
+	}
+}
+
+func TestASCIIScatterDegenerate(t *testing.T) {
+	// No finite data and single-point data must not panic.
+	_ = ASCIIScatter(nil, Axes{})
+	_ = ASCIIScatter([]Pt{{X: 1, Y: 1}}, Axes{})
+	_ = ASCIIScatter([]Pt{{X: math.NaN(), Y: math.NaN()}}, Axes{})
+}
+
+func TestASCIILines(t *testing.T) {
+	out := ASCIILines([]Series{
+		{Name: "mean", X: []float64{2006, 2010, 2020}, Y: []float64{0.7, 0.35, 0.2}},
+		{Name: "median", X: []float64{2006, 2010, 2020}, Y: []float64{0.65, 0.3, 0.18}},
+	}, Axes{Width: 40, Height: 8})
+	if !strings.Contains(out, "mean") || !strings.Contains(out, "median") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestASCIIBars(t *testing.T) {
+	out := ASCIIBars(
+		[]string{"Windows", "Linux"},
+		[]float64{0.97, 0.03},
+		Axes{Title: "OS share", Width: 30},
+	)
+	if !strings.Contains(out, "Windows") || !strings.Contains(out, "=") {
+		t.Errorf("bars missing:\n%s", out)
+	}
+	// Larger value gets a longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "=") <= strings.Count(lines[2], "=") {
+		t.Errorf("bar lengths not ordered:\n%s", out)
+	}
+}
+
+func TestASCIIBoxes(t *testing.T) {
+	boxes := []stats.BoxStats{
+		stats.Box([]float64{0.6, 0.7, 0.75, 0.8, 0.85}),
+		stats.Box([]float64{0.9, 1.0, 1.05, 1.1, 1.2}),
+	}
+	out := ASCIIBoxes([]string{"2007", "2014"}, boxes, Axes{Width: 50})
+	for _, want := range []string{"2007", "2014", "M", "[", "]", "scale:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("boxes missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSVGScatterWellFormed(t *testing.T) {
+	out := SVGScatter(scatterPts(), Axes{
+		Title: "Overall <efficiency> & more", Width: 80, Height: 30,
+		ClassNames: []string{"AMD", "Intel"}, XLabel: "year", YLabel: "ops/W",
+	})
+	for _, want := range []string{
+		"<svg", "</svg>", "<circle", "&lt;efficiency&gt; &amp;", "ops/W",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Count(out, "<circle") < 3 {
+		t.Error("expected at least 3 data circles")
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("NaN leaked into svg")
+	}
+}
+
+func TestSVGLines(t *testing.T) {
+	out := SVGLines([]Series{
+		{Name: "AMD", X: []float64{2018, 2020, 2024}, Y: []float64{10000, 20000, 35000}},
+	}, Axes{Width: 80, Height: 30})
+	if !strings.Contains(out, "<polyline") {
+		t.Error("polyline missing")
+	}
+}
+
+func TestSVGBoxes(t *testing.T) {
+	boxes := []stats.BoxStats{
+		stats.Box([]float64{0.6, 0.7, 0.8}),
+		stats.Box([]float64{0.9, 1.0, 1.1}),
+	}
+	out := SVGBoxes([]string{"a", "b"}, boxes, Axes{Width: 60, Height: 30})
+	if strings.Count(out, "<rect") < 3 { // background + 2 boxes
+		t.Errorf("boxes missing:\n%s", out)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{2500000, "2.5M"}, {12000, "12k"}, {330, "330"}, {0.7, "0.7"},
+	}
+	for _, c := range cases {
+		if got := fmtTick(c.in); got != c.want {
+			t.Errorf("fmtTick(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestYRangeOverride(t *testing.T) {
+	out := ASCIIScatter(scatterPts(), Axes{Width: 30, Height: 8, YMin: 0, YMax: 1000})
+	if !strings.Contains(out, "1k") && !strings.Contains(out, "1000") {
+		t.Errorf("forced y max missing:\n%s", out)
+	}
+}

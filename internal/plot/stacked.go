@@ -1,0 +1,77 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StackedRow is one bar of a share chart: a label plus named shares
+// that sum to ≈1.
+type StackedRow struct {
+	Label  string
+	Shares map[string]float64
+}
+
+// ASCIIStacked renders 100 %-stacked horizontal bars (Figure 1's share
+// panels). Categories are drawn in the order given; each gets the
+// marker of its index.
+func ASCIIStacked(rows []StackedRow, categories []string, ax Axes) string {
+	ax = ax.sized()
+	labelW := 0
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	var b strings.Builder
+	if ax.Title != "" {
+		fmt.Fprintf(&b, "%s\n", ax.Title)
+	}
+	for _, r := range rows {
+		bar := make([]byte, 0, ax.Width)
+		for ci, cat := range categories {
+			n := int(r.Shares[cat]*float64(ax.Width) + 0.5)
+			for k := 0; k < n && len(bar) < ax.Width; k++ {
+				bar = append(bar, markerFor(ci))
+			}
+		}
+		for len(bar) < ax.Width {
+			bar = append(bar, ' ')
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, r.Label, bar)
+	}
+	fmt.Fprintf(&b, "%-*s %s\n", labelW, "", legendASCII(categories))
+	return b.String()
+}
+
+// SVGStacked renders the same chart as SVG.
+func SVGStacked(rows []StackedRow, categories []string, ax Axes) string {
+	ax = ax.sized()
+	n := len(rows)
+	c := newSVG(ax, 0, 1, 0, float64(n))
+	rowH := float64(c.ph) / float64(maxI(n, 1))
+	for ri, r := range rows {
+		y := float64(svgMarginTop) + float64(ri)*rowH
+		x := float64(svgMarginLeft)
+		for ci, cat := range categories {
+			w := r.Shares[cat] * float64(c.pw)
+			if w <= 0 {
+				continue
+			}
+			fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y+1, w, rowH-2, colorFor(ci))
+			x += w
+		}
+		fmt.Fprintf(&c.b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			svgMarginLeft-4, y+rowH/2+3, escape(r.Label))
+	}
+	c.legend(categories)
+	return c.close()
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

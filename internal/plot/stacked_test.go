@@ -1,0 +1,49 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func stackedRows() []StackedRow {
+	return []StackedRow{
+		{Label: "2007", Shares: map[string]float64{"Windows": 0.97, "Linux": 0.02, "macOS": 0.01}},
+		{Label: "2023", Shares: map[string]float64{"Windows": 0.60, "Linux": 0.40}},
+	}
+}
+
+func TestASCIIStacked(t *testing.T) {
+	out := ASCIIStacked(stackedRows(), []string{"Windows", "Linux", "macOS"},
+		Axes{Title: "OS share", Width: 50})
+	for _, want := range []string{"OS share", "2007", "2023", "legend:", "Windows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// The 2007 row is dominated by the first marker; 2023 has plenty of
+	// the second.
+	lines := strings.Split(out, "\n")
+	if strings.Count(lines[1], "x") < 40 {
+		t.Errorf("2007 Windows share underdrawn:\n%s", out)
+	}
+	if strings.Count(lines[2], "o") < 15 {
+		t.Errorf("2023 Linux share underdrawn:\n%s", out)
+	}
+}
+
+func TestSVGStacked(t *testing.T) {
+	out := SVGStacked(stackedRows(), []string{"Windows", "Linux", "macOS"},
+		Axes{Title: "OS share", Width: 60, Height: 20})
+	if !strings.Contains(out, "<svg") || strings.Count(out, "<rect") < 4 {
+		t.Errorf("svg underdrawn:\n%s", out)
+	}
+	if !strings.Contains(out, "2023") {
+		t.Error("labels missing")
+	}
+}
+
+func TestStackedEmpty(t *testing.T) {
+	// No rows must not panic.
+	_ = ASCIIStacked(nil, []string{"a"}, Axes{})
+	_ = SVGStacked(nil, []string{"a"}, Axes{})
+}

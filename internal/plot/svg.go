@@ -1,0 +1,193 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// SVG geometry constants (pixels).
+const (
+	svgMarginLeft   = 64
+	svgMarginRight  = 24
+	svgMarginTop    = 36
+	svgMarginBottom = 48
+	svgCell         = 8 // pixels per Axes width/height unit
+)
+
+type svgCanvas struct {
+	b                  strings.Builder
+	pw, ph             int // plot area in px
+	xlo, xhi, ylo, yhi float64
+}
+
+func newSVG(ax Axes, xlo, xhi, ylo, yhi float64) *svgCanvas {
+	c := &svgCanvas{
+		pw: ax.Width * svgCell, ph: ax.Height * svgCell,
+		xlo: xlo, xhi: xhi, ylo: ylo, yhi: yhi,
+	}
+	w := c.pw + svgMarginLeft + svgMarginRight
+	h := c.ph + svgMarginTop + svgMarginBottom
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if ax.Title != "" {
+		fmt.Fprintf(&c.b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+			svgMarginLeft, escape(ax.Title))
+	}
+	// Frame.
+	fmt.Fprintf(&c.b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`+"\n",
+		svgMarginLeft, svgMarginTop, c.pw, c.ph)
+	// Axis tick labels (min/max).
+	style := `font-family="sans-serif" font-size="11" fill="#333"`
+	fmt.Fprintf(&c.b, `<text x="%d" y="%d" %s>%s</text>`+"\n",
+		svgMarginLeft-4, svgMarginTop+c.ph, style+` text-anchor="end"`, escape(fmtTick(ylo)))
+	fmt.Fprintf(&c.b, `<text x="%d" y="%d" %s>%s</text>`+"\n",
+		svgMarginLeft-4, svgMarginTop+10, style+` text-anchor="end"`, escape(fmtTick(yhi)))
+	fmt.Fprintf(&c.b, `<text x="%d" y="%d" %s>%s</text>`+"\n",
+		svgMarginLeft, svgMarginTop+c.ph+16, style, escape(fmtTick(xlo)))
+	fmt.Fprintf(&c.b, `<text x="%d" y="%d" %s text-anchor="end">%s</text>`+"\n",
+		svgMarginLeft+c.pw, svgMarginTop+c.ph+16, style, escape(fmtTick(xhi)))
+	if ax.XLabel != "" {
+		fmt.Fprintf(&c.b, `<text x="%d" y="%d" %s text-anchor="middle">%s</text>`+"\n",
+			svgMarginLeft+c.pw/2, svgMarginTop+c.ph+34, style, escape(ax.XLabel))
+	}
+	if ax.YLabel != "" {
+		fmt.Fprintf(&c.b, `<text x="14" y="%d" %s transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+			svgMarginTop+c.ph/2, style, svgMarginTop+c.ph/2, escape(ax.YLabel))
+	}
+	return c
+}
+
+func (c *svgCanvas) px(x float64) float64 {
+	return svgMarginLeft + (x-c.xlo)/(c.xhi-c.xlo)*float64(c.pw)
+}
+
+func (c *svgCanvas) py(y float64) float64 {
+	return svgMarginTop + float64(c.ph) - (y-c.ylo)/(c.yhi-c.ylo)*float64(c.ph)
+}
+
+func (c *svgCanvas) legend(names []string) {
+	x := svgMarginLeft + 8
+	for i, n := range names {
+		fmt.Fprintf(&c.b, `<circle cx="%d" cy="%d" r="4" fill="%s"/>`+"\n", x, svgMarginTop+12, colorFor(i))
+		fmt.Fprintf(&c.b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			x+8, svgMarginTop+16, escape(n))
+		x += 12 + 7*len(n) + 16
+	}
+}
+
+func (c *svgCanvas) close() string {
+	c.b.WriteString("</svg>\n")
+	return c.b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// SVGScatter renders a scatter chart.
+func SVGScatter(pts []Pt, ax Axes) string {
+	ax = ax.sized()
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	xlo, xhi := dataRange(xs)
+	ylo, yhi := dataRange(ys)
+	if ax.YMax > ax.YMin {
+		ylo, yhi = ax.YMin, ax.YMax
+	}
+	c := newSVG(ax, xlo, xhi, ylo, yhi)
+	for _, p := range pts {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			continue
+		}
+		fmt.Fprintf(&c.b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s" fill-opacity="0.6"/>`+"\n",
+			c.px(p.X), c.py(clampF(p.Y, ylo, yhi)), colorFor(p.Class))
+	}
+	c.legend(ax.ClassNames)
+	return c.close()
+}
+
+// SVGLines renders line series.
+func SVGLines(series []Series, ax Axes) string {
+	ax = ax.sized()
+	var allX, allY []float64
+	for _, s := range series {
+		allX = append(allX, s.X...)
+		allY = append(allY, s.Y...)
+	}
+	xlo, xhi := dataRange(allX)
+	ylo, yhi := dataRange(allY)
+	if ax.YMax > ax.YMin {
+		ylo, yhi = ax.YMin, ax.YMax
+	}
+	c := newSVG(ax, xlo, xhi, ylo, yhi)
+	names := make([]string, len(series))
+	for si, s := range series {
+		names[si] = s.Name
+		var path []string
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			path = append(path, fmt.Sprintf("%.1f,%.1f", c.px(s.X[i]), c.py(s.Y[i])))
+		}
+		fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(path, " "), colorFor(si))
+	}
+	if len(ax.ClassNames) == 0 {
+		ax.ClassNames = names
+	}
+	c.legend(ax.ClassNames)
+	return c.close()
+}
+
+// SVGBoxes renders labelled vertical box plots on a categorical x-axis.
+func SVGBoxes(labels []string, boxes []stats.BoxStats, ax Axes) string {
+	ax = ax.sized()
+	var vals []float64
+	for _, bx := range boxes {
+		vals = append(vals, bx.LoWhisk, bx.HiWhisk)
+	}
+	ylo, yhi := dataRange(vals)
+	if ax.YMax > ax.YMin {
+		ylo, yhi = ax.YMin, ax.YMax
+	}
+	n := len(boxes)
+	c := newSVG(ax, 0, float64(n), ylo, yhi)
+	boxW := float64(c.pw) / float64(n) * 0.6
+	for i, bx := range boxes {
+		cx := c.px(float64(i) + 0.5)
+		col := colorFor(i % len(svgPalette))
+		// whiskers
+		fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n",
+			cx, c.py(bx.LoWhisk), cx, c.py(bx.HiWhisk), col)
+		// box
+		fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.35" stroke="%s"/>`+"\n",
+			cx-boxW/2, c.py(bx.Q3), boxW, c.py(bx.Q1)-c.py(bx.Q3), col, col)
+		// median
+		fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			cx-boxW/2, c.py(bx.Median), cx+boxW/2, c.py(bx.Median), col)
+		// label
+		if i < len(labels) {
+			fmt.Fprintf(&c.b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="9" text-anchor="middle">%s</text>`+"\n",
+				cx, svgMarginTop+c.ph+14, escape(labels[i]))
+		}
+	}
+	return c.close()
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,42 @@
+package power
+
+import "repro/internal/catalog"
+
+// Breakdown decomposes system AC power into its modelled components,
+// for documentation and ablation purposes (the paper's Section IV
+// speculates about "an increasingly large share of power being used by
+// shared resources" — this exposes the model's own composition).
+type Breakdown struct {
+	CPUWatts      float64 // all sockets
+	MemWatts      float64
+	PlatformWatts float64 // fans, drives, board, NICs
+	PSULossWatts  float64 // AC/DC conversion loss
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 {
+	return b.CPUWatts + b.MemWatts + b.PlatformWatts + b.PSULossWatts
+}
+
+// FullLoadBreakdown decomposes FullLoadWatts for a configuration.
+func FullLoadBreakdown(spec catalog.CPUSpec, cfg SystemConfig) Breakdown {
+	b := Breakdown{
+		CPUWatts:      float64(cfg.Sockets) * spec.TDPWatts * cpuFullFrac,
+		MemWatts:      float64(cfg.MemGB) * memWattsPerGB(spec.Avail.Year),
+		PlatformWatts: platformWatts(spec.Avail.Year),
+	}
+	dc := b.CPUWatts + b.MemWatts + b.PlatformWatts
+	b.PSULossWatts = dc * psuLossFrac
+	return b
+}
+
+// SharedFraction returns the share of full-load power not attributable
+// to the CPU sockets themselves — the "shared resources" the paper
+// discusses in the context of idle optimization.
+func (b Breakdown) SharedFraction() float64 {
+	t := b.Total()
+	if t <= 0 {
+		return 0
+	}
+	return (b.MemWatts + b.PlatformWatts + b.PSULossWatts) / t
+}

@@ -1,0 +1,55 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func TestBreakdownSumsToFullLoad(t *testing.T) {
+	for _, name := range []string{"X5355", "E5-2670", "EPYC 9754", "Platinum 8490H"} {
+		spec, err := catalog.Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := SystemConfig{Sockets: 2, MemGB: 256}
+		b := FullLoadBreakdown(spec, cfg)
+		want := FullLoadWatts(spec, cfg)
+		if math.Abs(b.Total()-want) > 1e-9 {
+			t.Errorf("%s: breakdown %v != full %v", name, b.Total(), want)
+		}
+		if b.CPUWatts <= 0 || b.MemWatts <= 0 || b.PlatformWatts <= 0 || b.PSULossWatts <= 0 {
+			t.Errorf("%s: non-positive component: %+v", name, b)
+		}
+	}
+}
+
+func TestSharedFractionGrowsOverEras(t *testing.T) {
+	// Section IV speculation encoded in the model: the non-CPU share of
+	// power is larger on modern mid-range systems than on 2008 ones.
+	// Compare mainstream parts of similar TDP class so the CPU term
+	// doesn't dominate the comparison.
+	early, err := catalog.Find("X5355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := catalog.Find("Silver 4510")
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := FullLoadBreakdown(early, SystemConfig{Sockets: 2, MemGB: 16}).SharedFraction()
+	sl := FullLoadBreakdown(late, SystemConfig{Sockets: 2, MemGB: 128}).SharedFraction()
+	if sl <= se {
+		t.Errorf("shared fraction should grow: %v (2008) vs %v (2023)", se, sl)
+	}
+	if se <= 0 || sl >= 1 {
+		t.Errorf("fractions out of range: %v %v", se, sl)
+	}
+}
+
+func TestSharedFractionDegenerate(t *testing.T) {
+	if got := (Breakdown{}).SharedFraction(); got != 0 {
+		t.Errorf("zero breakdown = %v", got)
+	}
+}

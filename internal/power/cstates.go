@@ -1,0 +1,105 @@
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// CStateProfile describes where a system spends its active-idle time
+// and what each state costs, the mechanism behind Profile.IdleFrac
+// ([Hackenberg et al. 2015]'s C-state survey, cited by the paper).
+// Residencies are fractions of wall time at active idle and sum to 1.
+type CStateProfile struct {
+	// ResidencyC0 is time busy with background work (timers, daemons —
+	// the per-logical-CPU tasks Section IV discusses).
+	ResidencyC0 float64
+	// ResidencyCoreC is time in per-core sleep (C1/C6) with the package
+	// still awake.
+	ResidencyCoreC float64
+	// ResidencyPkgC is time in package sleep (PC6): shared resources
+	// (caches, interconnect, memory controller) powered down.
+	ResidencyPkgC float64
+
+	// Relative power (fraction of full-load power) drawn in each state.
+	PowerC0    float64
+	PowerCoreC float64
+	PowerPkgC  float64
+}
+
+// Validate reports the first inconsistent field.
+func (c CStateProfile) Validate() error {
+	sum := c.ResidencyC0 + c.ResidencyCoreC + c.ResidencyPkgC
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("power: C-state residencies sum to %v", sum)
+	}
+	for _, v := range []float64{c.ResidencyC0, c.ResidencyCoreC, c.ResidencyPkgC} {
+		if v < 0 {
+			return fmt.Errorf("power: negative residency")
+		}
+	}
+	if !(c.PowerPkgC <= c.PowerCoreC && c.PowerCoreC <= c.PowerC0) {
+		return fmt.Errorf("power: state powers not ordered (pkg %v ≤ core %v ≤ C0 %v)",
+			c.PowerPkgC, c.PowerCoreC, c.PowerC0)
+	}
+	return nil
+}
+
+// IdleFrac returns the residency-weighted idle power fraction.
+func (c CStateProfile) IdleFrac() float64 {
+	return c.ResidencyC0*c.PowerC0 +
+		c.ResidencyCoreC*c.PowerCoreC +
+		c.ResidencyPkgC*c.PowerPkgC
+}
+
+// CStatesFor derives a C-state decomposition consistent with the trend
+// profile for the vendor and era: the same measured IdleFrac, explained
+// as residencies. It encodes the paper's two competing mechanisms —
+// deeper package states lower PowerPkgC over time, while growing core
+// counts raise background activity (C0 residency) in recent years,
+// which is what drags measured idle back up.
+func CStatesFor(v model.CPUVendor, yearFrac float64) CStateProfile {
+	p := TrendProfile(v, yearFrac)
+	// Background activity: minimal mid-era, higher early (no tickless
+	// kernels) and creeping up again with core counts post-2017.
+	var c0 float64
+	switch {
+	case yearFrac < 2010:
+		c0 = 0.20
+	case yearFrac < 2017:
+		c0 = 0.20 - 0.02*(yearFrac-2010) // down to 0.06
+	default:
+		c0 = 0.06 + 0.01*(yearFrac-2017) // slow climb
+	}
+	if c0 > 0.25 {
+		c0 = 0.25
+	}
+	// Package-state power: LowIntercept is "core sleep only"; the
+	// deepest state approaches a floor set by always-on platform power.
+	cs := CStateProfile{
+		ResidencyC0: c0,
+		PowerC0:     p.LowIntercept * 1.15,
+		PowerCoreC:  p.LowIntercept,
+		PowerPkgC:   p.LowIntercept * 0.35,
+	}
+	if cs.PowerC0 > 1 {
+		cs.PowerC0 = 1
+	}
+	// Solve the package residency so the weighted idle matches the
+	// trend profile's measured IdleFrac; clamp into the feasible range.
+	rest := 1 - c0
+	den := cs.PowerCoreC - cs.PowerPkgC
+	pkg := 0.0
+	if den > 0 {
+		pkg = (c0*cs.PowerC0 + rest*cs.PowerCoreC - p.IdleFrac) / den
+	}
+	if pkg < 0 {
+		pkg = 0
+	}
+	if pkg > rest {
+		pkg = rest
+	}
+	cs.ResidencyPkgC = pkg
+	cs.ResidencyCoreC = rest - pkg
+	return cs
+}

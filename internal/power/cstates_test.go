@@ -1,0 +1,58 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestCStatesConsistentWithTrend(t *testing.T) {
+	for _, v := range []model.CPUVendor{model.VendorIntel, model.VendorAMD} {
+		for y := 2006.0; y <= 2024.0; y += 1.0 {
+			cs := CStatesFor(v, y)
+			if err := cs.Validate(); err != nil {
+				t.Fatalf("%v @%v: %v", v, y, err)
+			}
+			want := TrendProfile(v, y).IdleFrac
+			got := cs.IdleFrac()
+			// The residency solution reproduces the measured idle
+			// fraction unless clamped at a feasibility boundary.
+			if math.Abs(got-want) > 0.08 {
+				t.Errorf("%v @%v: residency idle %v vs trend %v", v, y, got, want)
+			}
+		}
+	}
+}
+
+func TestCStatesNarrative(t *testing.T) {
+	// Package residency grows dramatically from 2006 to 2017 (the
+	// introduction of effective package sleep the paper describes)...
+	early := CStatesFor(model.VendorIntel, 2006)
+	peak := CStatesFor(model.VendorIntel, 2017)
+	if peak.ResidencyPkgC < early.ResidencyPkgC+0.3 {
+		t.Errorf("package residency barely grew: %v → %v",
+			early.ResidencyPkgC, peak.ResidencyPkgC)
+	}
+	// ...and background C0 time creeps back up afterwards (the
+	// per-logical-CPU background tasks of Section IV).
+	late := CStatesFor(model.VendorIntel, 2024)
+	if late.ResidencyC0 <= peak.ResidencyC0 {
+		t.Errorf("C0 residency should rise after 2017: %v vs %v",
+			peak.ResidencyC0, late.ResidencyC0)
+	}
+}
+
+func TestCStateValidate(t *testing.T) {
+	bad := []CStateProfile{
+		{ResidencyC0: 0.5, ResidencyCoreC: 0.2, ResidencyPkgC: 0.2,
+			PowerC0: 0.4, PowerCoreC: 0.3, PowerPkgC: 0.1}, // sums to 0.9
+		{ResidencyC0: 0.2, ResidencyCoreC: 0.4, ResidencyPkgC: 0.4,
+			PowerC0: 0.1, PowerCoreC: 0.3, PowerPkgC: 0.2}, // power misordered
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad profile %d validated", i)
+		}
+	}
+}

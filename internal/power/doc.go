@@ -1,0 +1,26 @@
+// Package power models server AC power draw as a function of load for
+// the SPECpower_ssj2008 graduated-load regime.
+//
+// The model captures the mechanisms the paper discusses:
+//
+//   - DVFS and core C-states make the active-power portion concave in
+//     load (power falls slower than load at partial levels) — parameter
+//     Beta < 1.
+//   - Turbo/boost states make the last stretch to full load
+//     disproportionately expensive — parameters TurboWeight and
+//     TurboGamma add a convex component, which is what pushes relative
+//     efficiency above 1 at 70–90 % load for 2012–2016 Intel systems.
+//   - Package C-states and shared-resource power-down act only at true
+//     active idle — IdleFrac sits below the extrapolation of the
+//     low-load trend, and the ratio of the two is the paper's
+//     "extrapolated idle quotient" (Figure 6).
+//
+// Relative power at utilization u ∈ (0, 1]:
+//
+//	rel(u) = r + (1−r)·((1−w)·u^β + w·u^γ)
+//
+// where r is the low-load intercept; measured active idle (u = 0) is the
+// separate IdleFrac. TrendProfile interpolates per-vendor anchor tables
+// over hardware-availability time, encoding the 2006→2017 idle-power
+// progress and the post-2017 regression the paper reports.
+package power

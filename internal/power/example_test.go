@@ -1,0 +1,38 @@
+package power_test
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/power"
+)
+
+// ExampleTrendProfile shows how the trend model encodes the paper's
+// idle-power history: the measured idle fraction falls to a minimum
+// around 2017 and regresses afterwards for Intel systems.
+func ExampleTrendProfile() {
+	for _, year := range []float64{2006.5, 2017.0, 2024.0} {
+		p := power.TrendProfile(model.VendorIntel, year)
+		fmt.Printf("%.0f: idle %.0f%% of full load\n", year, 100*p.IdleFrac)
+	}
+	// Output:
+	// 2006: idle 69% of full load
+	// 2017: idle 14% of full load
+	// 2024: idle 30% of full load
+}
+
+// ExampleProfile_IdleQuotient reproduces the paper's Figure 6 metric on
+// the model itself: extrapolating the 10 % and 20 % load powers to zero
+// and dividing by the measured active idle.
+func ExampleProfile_IdleQuotient() {
+	p := power.Profile{
+		IdleFrac:     0.15, // package C-states engaged
+		LowIntercept: 0.28, // what idle would cost without them
+		Beta:         0.9,
+		TurboWeight:  0.3,
+		TurboGamma:   3,
+	}
+	fmt.Printf("quotient: %.2f\n", p.IdleQuotient())
+	// Output:
+	// quotient: 1.91
+}

@@ -1,0 +1,96 @@
+package power
+
+import (
+	"repro/internal/model"
+)
+
+// anchor is one point of the per-vendor trend tables: the typical power
+// profile of systems whose hardware became available around Year.
+type anchor struct {
+	Year float64
+	P    Profile
+}
+
+// The anchor tables encode the paper's findings as model inputs:
+//
+//   - IdleFrac falls from ≈0.70 (2006) to a minimum around 2017
+//     (≈0.145 Intel / 0.175 AMD) and then regresses upward for Intel
+//     (to ≈0.30 by 2024/25) while drifting slightly down for AMD —
+//     Figure 5 and the 70.1 % → 15.7 % → 25.7 % yearly means.
+//   - TurboWeight peaks for Intel in 2012–2016 (relative efficiency
+//     above 1 at ≥70 % load, Figure 4) and rises for AMD around 2021
+//     (relative efficiency approaching 1).
+//   - The gap between LowIntercept/Beta and IdleFrac yields an
+//     extrapolated idle quotient near 1.0 in 2006 rising to ≈1.3–2.0
+//     with wide spread in recent years (Figure 6).
+var intelAnchors = []anchor{
+	{2005.0, Profile{IdleFrac: 0.72, LowIntercept: 0.74, Beta: 1.00, TurboWeight: 0.03, TurboGamma: 2.5}},
+	{2007.0, Profile{IdleFrac: 0.68, LowIntercept: 0.71, Beta: 1.00, TurboWeight: 0.04, TurboGamma: 2.5}},
+	{2008.5, Profile{IdleFrac: 0.55, LowIntercept: 0.60, Beta: 1.00, TurboWeight: 0.05, TurboGamma: 2.6}},
+	{2010.0, Profile{IdleFrac: 0.35, LowIntercept: 0.46, Beta: 0.95, TurboWeight: 0.12, TurboGamma: 2.8}},
+	{2012.0, Profile{IdleFrac: 0.22, LowIntercept: 0.33, Beta: 0.95, TurboWeight: 0.45, TurboGamma: 3.2}},
+	{2014.0, Profile{IdleFrac: 0.18, LowIntercept: 0.31, Beta: 0.95, TurboWeight: 0.45, TurboGamma: 3.2}},
+	{2017.0, Profile{IdleFrac: 0.145, LowIntercept: 0.27, Beta: 0.90, TurboWeight: 0.38, TurboGamma: 3.0}},
+	{2019.0, Profile{IdleFrac: 0.18, LowIntercept: 0.28, Beta: 0.85, TurboWeight: 0.30, TurboGamma: 3.0}},
+	{2021.0, Profile{IdleFrac: 0.22, LowIntercept: 0.29, Beta: 0.82, TurboWeight: 0.27, TurboGamma: 3.0}},
+	{2023.0, Profile{IdleFrac: 0.27, LowIntercept: 0.31, Beta: 0.80, TurboWeight: 0.25, TurboGamma: 3.0}},
+	{2025.0, Profile{IdleFrac: 0.32, LowIntercept: 0.34, Beta: 0.80, TurboWeight: 0.23, TurboGamma: 3.0}},
+}
+
+var amdAnchors = []anchor{
+	{2005.0, Profile{IdleFrac: 0.72, LowIntercept: 0.74, Beta: 1.00, TurboWeight: 0.03, TurboGamma: 2.5}},
+	{2007.0, Profile{IdleFrac: 0.68, LowIntercept: 0.71, Beta: 1.00, TurboWeight: 0.04, TurboGamma: 2.5}},
+	{2009.0, Profile{IdleFrac: 0.50, LowIntercept: 0.56, Beta: 1.00, TurboWeight: 0.06, TurboGamma: 2.6}},
+	{2011.0, Profile{IdleFrac: 0.33, LowIntercept: 0.44, Beta: 0.95, TurboWeight: 0.10, TurboGamma: 2.8}},
+	{2013.0, Profile{IdleFrac: 0.24, LowIntercept: 0.38, Beta: 0.95, TurboWeight: 0.15, TurboGamma: 2.8}},
+	{2017.0, Profile{IdleFrac: 0.175, LowIntercept: 0.30, Beta: 0.90, TurboWeight: 0.12, TurboGamma: 2.8}},
+	{2019.0, Profile{IdleFrac: 0.155, LowIntercept: 0.27, Beta: 0.85, TurboWeight: 0.18, TurboGamma: 3.0}},
+	{2021.0, Profile{IdleFrac: 0.135, LowIntercept: 0.24, Beta: 0.82, TurboWeight: 0.28, TurboGamma: 3.0}},
+	{2023.0, Profile{IdleFrac: 0.12, LowIntercept: 0.22, Beta: 0.80, TurboWeight: 0.30, TurboGamma: 3.0}},
+	{2025.0, Profile{IdleFrac: 0.11, LowIntercept: 0.21, Beta: 0.80, TurboWeight: 0.30, TurboGamma: 3.0}},
+}
+
+// otherAnchors covers non-Intel/AMD parts (filtered before analysis, but
+// still rendered and parsed): modelled like a lagging Intel trend.
+var otherAnchors = []anchor{
+	{2005.0, Profile{IdleFrac: 0.75, LowIntercept: 0.77, Beta: 1.00, TurboWeight: 0.02, TurboGamma: 2.5}},
+	{2012.0, Profile{IdleFrac: 0.40, LowIntercept: 0.48, Beta: 0.95, TurboWeight: 0.15, TurboGamma: 2.8}},
+	{2025.0, Profile{IdleFrac: 0.30, LowIntercept: 0.36, Beta: 0.85, TurboWeight: 0.20, TurboGamma: 3.0}},
+}
+
+// TrendProfile returns the typical Profile for a system of the given CPU
+// vendor whose hardware availability is yearFrac (e.g. 2017.54),
+// linearly interpolated between anchors and clamped outside them.
+func TrendProfile(v model.CPUVendor, yearFrac float64) Profile {
+	table := otherAnchors
+	switch v {
+	case model.VendorIntel:
+		table = intelAnchors
+	case model.VendorAMD:
+		table = amdAnchors
+	}
+	if yearFrac <= table[0].Year {
+		return table[0].P
+	}
+	last := table[len(table)-1]
+	if yearFrac >= last.Year {
+		return last.P
+	}
+	for i := 1; i < len(table); i++ {
+		if yearFrac > table[i].Year {
+			continue
+		}
+		a, b := table[i-1], table[i]
+		t := (yearFrac - a.Year) / (b.Year - a.Year)
+		return Profile{
+			IdleFrac:     lerp(a.P.IdleFrac, b.P.IdleFrac, t),
+			LowIntercept: lerp(a.P.LowIntercept, b.P.LowIntercept, t),
+			Beta:         lerp(a.P.Beta, b.P.Beta, t),
+			TurboWeight:  lerp(a.P.TurboWeight, b.P.TurboWeight, t),
+			TurboGamma:   lerp(a.P.TurboGamma, b.P.TurboGamma, t),
+		}
+	}
+	return last.P // unreachable
+}
+
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }

@@ -1,0 +1,129 @@
+package ptd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client speaks the ptd protocol and implements the ssj.Meter interface.
+// SetLoad updates an optional LoadTracker shared with the server's
+// power source, standing in for the physical coupling between the SUT
+// and the analyzer.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	rd      *bufio.Reader
+	tracker *LoadTracker
+}
+
+// Dial connects to a ptd server and verifies the handshake. tracker may
+// be nil when the power source does not depend on SUT load.
+func Dial(addr string, tracker *LoadTracker, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("ptd: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, rd: bufio.NewReader(conn), tracker: tracker}
+	reply, err := c.roundTrip("HELLO")
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !strings.HasPrefix(reply, "PTD,") {
+		conn.Close()
+		return nil, fmt.Errorf("ptd: unexpected handshake %q", reply)
+	}
+	return c, nil
+}
+
+// roundTrip sends one command and reads one reply line.
+func (c *Client) roundTrip(cmd string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return "", fmt.Errorf("ptd: client closed")
+	}
+	if _, err := fmt.Fprintf(c.conn, "%s\r\n", cmd); err != nil {
+		return "", fmt.Errorf("ptd: send %s: %w", cmd, err)
+	}
+	line, err := c.rd.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("ptd: read reply to %s: %w", cmd, err)
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR,") {
+		return "", fmt.Errorf("ptd: daemon error: %s", strings.TrimPrefix(line, "ERR,"))
+	}
+	return line, nil
+}
+
+// SetLoad implements ssj.Meter.
+func (c *Client) SetLoad(u float64) {
+	if c.tracker != nil {
+		c.tracker.Set(u)
+	}
+}
+
+// Start implements ssj.Meter.
+func (c *Client) Start() error {
+	_, err := c.roundTrip("START")
+	return err
+}
+
+// Read returns the running average without ending the measurement.
+func (c *Client) Read() (watts float64, samples int, err error) {
+	reply, err := c.roundTrip("READ")
+	if err != nil {
+		return 0, 0, err
+	}
+	return parseWatts(reply, "WATTS")
+}
+
+// Stop implements ssj.Meter: it ends the measurement and returns the
+// interval average.
+func (c *Client) Stop() (float64, error) {
+	reply, err := c.roundTrip("STOP")
+	if err != nil {
+		return 0, err
+	}
+	w, _, err := parseWatts(reply, "OK,WATTS")
+	return w, err
+}
+
+// Close terminates the session.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	fmt.Fprintf(c.conn, "QUIT\r\n")
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+func parseWatts(reply, prefix string) (float64, int, error) {
+	rest, ok := strings.CutPrefix(reply, prefix+",")
+	if !ok {
+		return 0, 0, fmt.Errorf("ptd: malformed reply %q", reply)
+	}
+	parts := strings.Split(rest, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("ptd: malformed reply %q", reply)
+	}
+	w, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ptd: bad watts in %q: %w", reply, err)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("ptd: bad sample count in %q: %w", reply, err)
+	}
+	return w, n, nil
+}

@@ -1,0 +1,20 @@
+// Package ptd simulates the SPEC PTDaemon power-measurement interface:
+// a line-oriented TCP protocol between a benchmark harness and a daemon
+// that owns the power analyzer.
+//
+// The simulated daemon samples a power source (typically a power.Curve
+// driven by a LoadTracker shared with the ssj engine) at a fixed cadence
+// while a measurement is active, and reports the interval average. The
+// Client type implements the ssj.Meter interface, so a benchmark run can
+// be measured either in-process or across a real TCP connection — the
+// path the paper's dataset was produced through.
+//
+// Protocol (one command per line, comma-separated replies):
+//
+//	HELLO            → PTD,SimPTDaemon,1.0
+//	START            → OK
+//	READ             → WATTS,<avg>,<samples>     (running average)
+//	STOP             → OK,WATTS,<avg>,<samples>  (ends the measurement)
+//	QUIT             → OK (connection closes)
+//	anything else    → ERR,<reason>
+package ptd

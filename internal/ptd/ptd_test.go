@@ -1,0 +1,241 @@
+package ptd
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+)
+
+func testCurve() power.Curve {
+	return power.Curve{
+		FullWatts: 500,
+		Prof: power.Profile{IdleFrac: 0.2, LowIntercept: 0.3, Beta: 0.85,
+			TurboWeight: 0.25, TurboGamma: 3},
+	}
+}
+
+func startServer(t *testing.T, src Source) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(src, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, time.Millisecond); err == nil {
+		t.Error("nil source should error")
+	}
+	if _, err := NewServer(func() float64 { return 1 }, 0); err == nil {
+		t.Error("zero period should error")
+	}
+}
+
+func TestHandshakeAndMeasurement(t *testing.T) {
+	_, addr := startServer(t, func() float64 { return 123.5 })
+	c, err := Dial(addr, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	w, n, err := c.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-123.5) > 1e-6 || n == 0 {
+		t.Errorf("Read = %v W over %d samples", w, n)
+	}
+	w, err = c.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-123.5) > 1e-6 {
+		t.Errorf("Stop avg = %v", w)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, addr := startServer(t, func() float64 { return 1 })
+	c, err := Dial(addr, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// STOP before START.
+	if _, err := c.Stop(); err == nil || !strings.Contains(err.Error(), "no measurement") {
+		t.Errorf("expected protocol error, got %v", err)
+	}
+	// Double START.
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err == nil || !strings.Contains(err.Error(), "already running") {
+		t.Errorf("expected double-start error, got %v", err)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, addr := startServer(t, func() float64 { return 1 })
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "BOGUS\r\n")
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "ERR,") {
+		t.Errorf("reply = %q, want ERR", line)
+	}
+}
+
+func TestShortIntervalFallbackReading(t *testing.T) {
+	// Interval far shorter than the sampling period still returns data.
+	srv, err := NewServer(func() float64 { return 77 }, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 77 {
+		t.Errorf("fallback reading = %v, want 77", w)
+	}
+}
+
+func TestLoadTrackerCoupling(t *testing.T) {
+	var tr LoadTracker
+	src := CurveSource(testCurve(), &tr)
+	_, addr := startServer(t, src)
+	c, err := Dial(addr, &tr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	measure := func(u float64) float64 {
+		c.SetLoad(u)
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(15 * time.Millisecond)
+		w, err := c.Stop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	full := measure(1)
+	idle := measure(0)
+	if math.Abs(full-500) > 1 {
+		t.Errorf("full-load reading = %v, want ≈500", full)
+	}
+	if math.Abs(idle-100) > 1 {
+		t.Errorf("idle reading = %v, want ≈100", idle)
+	}
+}
+
+func TestTrackerClamps(t *testing.T) {
+	var tr LoadTracker
+	tr.Set(-5)
+	if tr.Load() != 0 {
+		t.Errorf("Load = %v, want 0", tr.Load())
+	}
+	tr.Set(7)
+	if tr.Load() != 1 {
+		t.Errorf("Load = %v, want 1", tr.Load())
+	}
+	tr.Set(0.42)
+	if math.Abs(tr.Load()-0.42) > 1e-12 {
+		t.Errorf("Load = %v", tr.Load())
+	}
+}
+
+func TestClientClosedUse(t *testing.T) {
+	_, addr := startServer(t, func() float64 { return 1 })
+	c, err := Dial(addr, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close should be a no-op, got %v", err)
+	}
+	if err := c.Start(); err == nil {
+		t.Error("Start on closed client should error")
+	}
+}
+
+func TestServerSurvivesAbruptDisconnect(t *testing.T) {
+	_, addr := startServer(t, func() float64 { return 9 })
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "START\r\n")
+	conn.Close() // mid-measurement disconnect
+	// Server must still accept new clients.
+	c, err := Dial(addr, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleSequentialMeasurements(t *testing.T) {
+	_, addr := startServer(t, func() float64 { return 50 })
+	c, err := Dial(addr, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		if err := c.Start(); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if _, err := c.Stop(); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+}

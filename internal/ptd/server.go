@@ -1,0 +1,195 @@
+package ptd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Source supplies instantaneous power readings in watts.
+type Source func() float64
+
+// Server is a simulated PTDaemon: it accepts TCP connections and serves
+// the measurement protocol, sampling its Source while measuring.
+type Server struct {
+	source Source
+	period time.Duration
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer builds a server over the given source, sampling every
+// period while a measurement is active.
+func NewServer(source Source, period time.Duration) (*Server, error) {
+	if source == nil {
+		return nil, fmt.Errorf("ptd: nil source")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("ptd: non-positive sample period %v", period)
+	}
+	return &Server{source: source, period: period, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Listen starts serving on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("ptd: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// measurement is the per-connection sampling state.
+type measurement struct {
+	mu   sync.Mutex
+	sum  float64
+	n    int
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (s *Server) startMeasure() *measurement {
+	m := &measurement{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		tick := time.NewTicker(s.period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-tick.C:
+				w := s.source()
+				m.mu.Lock()
+				m.sum += w
+				m.n++
+				m.mu.Unlock()
+			}
+		}
+	}()
+	return m
+}
+
+func (m *measurement) average(fallback Source) (float64, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.n == 0 {
+		// Interval shorter than the sample period: report one
+		// instantaneous reading so callers always get data.
+		return fallback(), 1
+	}
+	return m.sum / float64(m.n), m.n
+}
+
+func (m *measurement) end() {
+	close(m.stop)
+	<-m.done
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	var cur *measurement
+	defer func() {
+		if cur != nil {
+			cur.end()
+		}
+	}()
+	for sc.Scan() {
+		cmd := strings.ToUpper(strings.TrimSpace(sc.Text()))
+		var reply string
+		switch cmd {
+		case "HELLO":
+			reply = "PTD,SimPTDaemon,1.0"
+		case "START":
+			if cur != nil {
+				reply = "ERR,measurement already running"
+				break
+			}
+			cur = s.startMeasure()
+			reply = "OK"
+		case "READ":
+			if cur == nil {
+				reply = "ERR,no measurement running"
+				break
+			}
+			avg, n := cur.average(s.source)
+			reply = fmt.Sprintf("WATTS,%.3f,%d", avg, n)
+		case "STOP":
+			if cur == nil {
+				reply = "ERR,no measurement running"
+				break
+			}
+			cur.end()
+			avg, n := cur.average(s.source)
+			cur = nil
+			reply = fmt.Sprintf("OK,WATTS,%.3f,%d", avg, n)
+		case "QUIT":
+			fmt.Fprintf(conn, "OK\r\n")
+			return
+		case "":
+			continue
+		default:
+			reply = fmt.Sprintf("ERR,unknown command %q", cmd)
+		}
+		if _, err := fmt.Fprintf(conn, "%s\r\n", reply); err != nil {
+			return
+		}
+	}
+}

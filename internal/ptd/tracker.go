@@ -1,0 +1,40 @@
+package ptd
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/power"
+)
+
+// LoadTracker shares the SUT's current utilization between the
+// benchmark harness (writer) and the daemon's power source (reader),
+// modelling the physical fact that the analyzer sees whatever the SUT
+// is doing.
+type LoadTracker struct {
+	bits atomic.Uint64
+}
+
+// Set stores the current utilization in [0,1].
+func (t *LoadTracker) Set(u float64) {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	t.bits.Store(math.Float64bits(u))
+}
+
+// Load returns the last stored utilization.
+func (t *LoadTracker) Load() float64 {
+	return math.Float64frombits(t.bits.Load())
+}
+
+// CurveSource builds a Source that evaluates the power curve at the
+// tracker's current utilization.
+func CurveSource(curve power.Curve, tracker *LoadTracker) Source {
+	return func() float64 {
+		return curve.At(tracker.Load())
+	}
+}

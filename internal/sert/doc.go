@@ -1,0 +1,15 @@
+// Package sert implements a miniature Server Efficiency Rating Tool
+// (SERT) suite. The paper's background section notes that the SPECpower
+// committee maintains, beyond SPECpower_ssj2008 itself, "the
+// definitions and tool infrastructures for power measurements …, the
+// SERT suite, and the Chauffeur Worklet Development Kit"; this package
+// reproduces that substrate in Go.
+//
+// A SERT run executes a set of worklets — small, self-contained
+// workloads grouped into CPU, Memory and Storage domains — each at a
+// ladder of target intensities, measuring throughput and (via the same
+// ssj.Meter interface the benchmark engine uses) power. Per-worklet
+// efficiency scores are normalized against reference values and
+// aggregated with geometric means into domain scores and one overall
+// rating, mirroring the real tool's scoring hierarchy.
+package sert

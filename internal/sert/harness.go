@@ -1,0 +1,240 @@
+package sert
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ssj"
+)
+
+// Config controls a suite run.
+type Config struct {
+	// Workers is the number of goroutines per worklet.
+	Workers int
+	// IntervalDuration is the length of each measured interval.
+	IntervalDuration time.Duration
+	// Intensities is the per-worklet load ladder, descending fractions
+	// of the calibrated maximum (the real SERT uses 100/75/50/25 for
+	// CPU worklets).
+	Intensities []float64
+	// Seed makes worker state deterministic.
+	Seed int64
+	// SamplePeriod is the meter sampling cadence.
+	SamplePeriod time.Duration
+}
+
+// DefaultConfig returns a short-but-real configuration.
+func DefaultConfig(workers int) Config {
+	return Config{
+		Workers:          workers,
+		IntervalDuration: 100 * time.Millisecond,
+		Intensities:      []float64{1.0, 0.75, 0.5, 0.25},
+		Seed:             1,
+		SamplePeriod:     5 * time.Millisecond,
+	}
+}
+
+// Validate reports the first unusable parameter.
+func (c Config) Validate() error {
+	switch {
+	case c.Workers < 1:
+		return fmt.Errorf("sert: need ≥1 worker")
+	case c.IntervalDuration <= 0:
+		return fmt.Errorf("sert: non-positive interval")
+	case len(c.Intensities) == 0:
+		return fmt.Errorf("sert: no intensities")
+	}
+	for _, u := range c.Intensities {
+		if u <= 0 || u > 1 {
+			return fmt.Errorf("sert: intensity %v outside (0,1]", u)
+		}
+	}
+	return nil
+}
+
+// LevelResult is one measured interval of one worklet.
+type LevelResult struct {
+	Intensity float64
+	OpsPerSec float64
+	AvgWatts  float64
+	// Efficiency is OpsPerSec/AvgWatts.
+	Efficiency float64
+}
+
+// WorkletResult aggregates one worklet's ladder.
+type WorkletResult struct {
+	Name   string
+	Domain Domain
+	Levels []LevelResult
+	// Score is the geometric mean of reference-normalized efficiencies.
+	Score float64
+}
+
+// Result is a full suite run.
+type Result struct {
+	Worklets []WorkletResult
+	// DomainScores are geometric means of the domain's worklet scores.
+	DomainScores map[Domain]float64
+	// Overall is the weighted geometric mean across domains.
+	Overall float64
+}
+
+// DefaultSuite returns the standard worklet set.
+func DefaultSuite() []Worklet {
+	return []Worklet{
+		CryptoWorklet{}, CompressWorklet{}, SortWorklet{}, HashWorklet{},
+		SSJWorklet{},
+		FloodWorklet{}, CapacityWorklet{},
+		SequentialIOWorklet{}, RandomIOWorklet{},
+	}
+}
+
+// Run executes the suite: for each worklet, a full-speed calibration
+// interval followed by the intensity ladder, each interval measured
+// through the meter.
+func Run(cfg Config, suite []Worklet, meter ssj.Meter) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("sert: empty suite")
+	}
+	if meter == nil {
+		return nil, fmt.Errorf("sert: nil meter")
+	}
+	res := &Result{DomainScores: map[Domain]float64{}}
+	for wi, w := range suite {
+		wr, err := runWorklet(cfg, w, int64(wi), meter)
+		if err != nil {
+			return nil, fmt.Errorf("sert: worklet %s: %w", w.Name(), err)
+		}
+		res.Worklets = append(res.Worklets, wr)
+	}
+
+	byDomain := map[Domain][]float64{}
+	for _, wr := range res.Worklets {
+		byDomain[wr.Domain] = append(byDomain[wr.Domain], wr.Score)
+	}
+	var domVals, domWeights []float64
+	for d := Domain(0); d < numDomains; d++ {
+		scores, ok := byDomain[d]
+		if !ok {
+			continue
+		}
+		ds := geoMean(scores)
+		res.DomainScores[d] = ds
+		domVals = append(domVals, ds)
+		domWeights = append(domWeights, DomainWeights[d])
+	}
+	res.Overall = weightedGeoMean(domVals, domWeights)
+	return res, nil
+}
+
+func runWorklet(cfg Config, w Worklet, widx int64, meter ssj.Meter) (WorkletResult, error) {
+	states := make([]WorkletState, cfg.Workers)
+	for i := range states {
+		states[i] = w.NewState(uint64(cfg.Seed)*0x9E3779B9 + uint64(widx)*0xBF58476D + uint64(i))
+	}
+	wr := WorkletResult{Name: w.Name(), Domain: w.Domain()}
+
+	// Calibration: full speed, not scored.
+	calOps, _, err := interval(cfg, states, 1.0, 0, meter)
+	if err != nil {
+		return wr, err
+	}
+	if calOps <= 0 {
+		return wr, fmt.Errorf("calibration produced no throughput")
+	}
+
+	var normEffs []float64
+	for _, u := range cfg.Intensities {
+		target := calOps * u
+		ops, watts, err := interval(cfg, states, u, target, meter)
+		if err != nil {
+			return wr, err
+		}
+		lr := LevelResult{Intensity: u, OpsPerSec: ops, AvgWatts: watts}
+		if watts > 0 {
+			lr.Efficiency = ops / watts
+		}
+		wr.Levels = append(wr.Levels, lr)
+		normEffs = append(normEffs, lr.Efficiency/w.RefOpsPerWatt())
+	}
+	wr.Score = geoMean(normEffs)
+	return wr, nil
+}
+
+// interval runs one measured interval. target is the paced ops/s
+// (0 = full speed).
+func interval(cfg Config, states []WorkletState, u, target float64, meter ssj.Meter) (opsPerSec, watts float64, err error) {
+	meter.SetLoad(u)
+	if err := meter.Start(); err != nil {
+		return 0, 0, err
+	}
+	stopSampling := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	if s, ok := meter.(interface{ Sample() }); ok && cfg.SamplePeriod > 0 {
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			tick := time.NewTicker(cfg.SamplePeriod)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSampling:
+					return
+				case <-tick.C:
+					s.Sample()
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	perWorker := target / float64(len(states))
+	counts := make([]int64, len(states))
+	var wg sync.WaitGroup
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st WorkletState) {
+			defer wg.Done()
+			counts[i] = pacedLoop(st, start, cfg.IntervalDuration, perWorker, target == 0)
+		}(i, st)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopSampling)
+	samplerWG.Wait()
+	w, err := meter.Stop()
+	if err != nil {
+		return 0, 0, err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total) / elapsed.Seconds(), w, nil
+}
+
+// pacedLoop is the duty-cycled batch loop shared by all worklets.
+func pacedLoop(st WorkletState, start time.Time, d time.Duration, rate float64, fullSpeed bool) int64 {
+	deadline := start.Add(d)
+	var done int64
+	for {
+		now := time.Now()
+		if now.After(deadline) {
+			return done
+		}
+		if fullSpeed {
+			done += st.Batch()
+			continue
+		}
+		allowed := now.Sub(start).Seconds() * rate
+		if float64(done) < allowed {
+			done += st.Batch()
+			continue
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,225 @@
+package sert
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/ssj"
+)
+
+func testMeter() *ssj.SimMeter {
+	curve := power.Curve{
+		FullWatts: 400,
+		Prof: power.Profile{IdleFrac: 0.2, LowIntercept: 0.3, Beta: 0.85,
+			TurboWeight: 0.25, TurboGamma: 3},
+	}
+	return ssj.NewSimMeter(curve, 0, 1)
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig(2)
+	cfg.IntervalDuration = 15 * time.Millisecond
+	cfg.Intensities = []float64{1.0, 0.5}
+	cfg.SamplePeriod = 2 * time.Millisecond
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := fastConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.IntervalDuration = 0 },
+		func(c *Config) { c.Intensities = nil },
+		func(c *Config) { c.Intensities = []float64{1.5} },
+		func(c *Config) { c.Intensities = []float64{0} },
+	}
+	for i, mut := range bad {
+		c := fastConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}, DefaultSuite(), testMeter()); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := Run(fastConfig(), nil, testMeter()); err == nil {
+		t.Error("empty suite should error")
+	}
+	if _, err := Run(fastConfig(), DefaultSuite(), nil); err == nil {
+		t.Error("nil meter should error")
+	}
+}
+
+func TestDefaultSuiteCoversAllDomains(t *testing.T) {
+	seen := map[Domain]int{}
+	names := map[string]bool{}
+	for _, w := range DefaultSuite() {
+		seen[w.Domain()]++
+		if names[w.Name()] {
+			t.Errorf("duplicate worklet %q", w.Name())
+		}
+		names[w.Name()] = true
+		if w.RefOpsPerWatt() <= 0 {
+			t.Errorf("%s: non-positive reference", w.Name())
+		}
+	}
+	for d := Domain(0); d < numDomains; d++ {
+		if seen[d] == 0 {
+			t.Errorf("domain %v has no worklets", d)
+		}
+	}
+}
+
+func TestWorkletBatchesDoWork(t *testing.T) {
+	for _, w := range DefaultSuite() {
+		st := w.NewState(42)
+		var ops int64
+		for i := 0; i < 5; i++ {
+			n := st.Batch()
+			if n <= 0 {
+				t.Errorf("%s: batch returned %d", w.Name(), n)
+			}
+			ops += n
+		}
+		if ops <= 0 {
+			t.Errorf("%s: no ops", w.Name())
+		}
+	}
+}
+
+func TestSuiteRunScores(t *testing.T) {
+	res, err := Run(fastConfig(), DefaultSuite(), testMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Worklets) != len(DefaultSuite()) {
+		t.Fatalf("worklet results = %d", len(res.Worklets))
+	}
+	for _, wr := range res.Worklets {
+		if len(wr.Levels) != 2 {
+			t.Errorf("%s: levels = %d", wr.Name, len(wr.Levels))
+		}
+		if wr.Score <= 0 || math.IsNaN(wr.Score) {
+			t.Errorf("%s: score = %v", wr.Name, wr.Score)
+		}
+		for _, lv := range wr.Levels {
+			if lv.OpsPerSec <= 0 || lv.AvgWatts <= 0 {
+				t.Errorf("%s @%v: ops=%v watts=%v", wr.Name, lv.Intensity,
+					lv.OpsPerSec, lv.AvgWatts)
+			}
+		}
+	}
+	for d := Domain(0); d < numDomains; d++ {
+		if s, ok := res.DomainScores[d]; !ok || s <= 0 {
+			t.Errorf("domain %v score = %v", d, res.DomainScores[d])
+		}
+	}
+	if res.Overall <= 0 || math.IsNaN(res.Overall) {
+		t.Errorf("overall = %v", res.Overall)
+	}
+}
+
+func TestPacingReducesThroughput(t *testing.T) {
+	cfg := fastConfig()
+	cfg.IntervalDuration = 40 * time.Millisecond
+	cfg.Intensities = []float64{1.0, 0.25}
+	res, err := Run(cfg, []Worklet{HashWorklet{}}, testMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := res.Worklets[0].Levels
+	if levels[1].OpsPerSec >= levels[0].OpsPerSec*0.6 {
+		t.Errorf("25%% intensity achieved %.0f vs full %.0f",
+			levels[1].OpsPerSec, levels[0].OpsPerSec)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := geoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geoMean = %v, want 4", got)
+	}
+	if got := geoMean([]float64{5}); got != 5 {
+		t.Errorf("geoMean singleton = %v", got)
+	}
+	if got := geoMean([]float64{1, 0}); got != 0 {
+		t.Errorf("zero should poison: %v", got)
+	}
+	if !math.IsNaN(geoMean(nil)) {
+		t.Error("empty should be NaN")
+	}
+	if !math.IsNaN(geoMean([]float64{1, math.NaN()})) {
+		t.Error("NaN should propagate")
+	}
+}
+
+func TestWeightedGeoMean(t *testing.T) {
+	// Equal weights reduce to the plain geometric mean.
+	a := weightedGeoMean([]float64{2, 8}, []float64{1, 1})
+	if math.Abs(a-4) > 1e-12 {
+		t.Errorf("equal-weight = %v", a)
+	}
+	// All weight on one value returns that value.
+	b := weightedGeoMean([]float64{2, 8}, []float64{1, 1e-12})
+	if math.Abs(b-2) > 0.01 {
+		t.Errorf("skewed = %v", b)
+	}
+	if !math.IsNaN(weightedGeoMean([]float64{1}, []float64{1, 2})) {
+		t.Error("length mismatch should be NaN")
+	}
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	// Property: geomean lies between min and max of positive inputs.
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			v = math.Abs(math.Mod(v, 1000))
+			if v > 0.001 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		g := geoMean(vals)
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainWeightsSumToOne(t *testing.T) {
+	var sum float64
+	for _, w := range DomainWeights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("domain weights sum to %v", sum)
+	}
+}
+
+func TestDomainStrings(t *testing.T) {
+	if DomainCPU.String() != "CPU" || DomainMemory.String() != "Memory" ||
+		DomainStorage.String() != "Storage" {
+		t.Error("domain names wrong")
+	}
+}

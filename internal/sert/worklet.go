@@ -1,0 +1,100 @@
+package sert
+
+import (
+	"fmt"
+	"math"
+)
+
+// Domain groups worklets the way SERT groups workloads.
+type Domain int
+
+// Worklet domains.
+const (
+	DomainCPU Domain = iota
+	DomainMemory
+	DomainStorage
+	numDomains
+)
+
+// String names the domain.
+func (d Domain) String() string {
+	switch d {
+	case DomainCPU:
+		return "CPU"
+	case DomainMemory:
+		return "Memory"
+	case DomainStorage:
+		return "Storage"
+	default:
+		return fmt.Sprintf("Domain(%d)", int(d))
+	}
+}
+
+// DomainWeights are the contribution of each domain to the overall
+// score (the real SERT heavily weights CPU).
+var DomainWeights = map[Domain]float64{
+	DomainCPU:     0.65,
+	DomainMemory:  0.30,
+	DomainStorage: 0.05,
+}
+
+// Worklet is one unit of work. Batch executes a fixed small amount of
+// work and returns the operations completed; the harness calls it in a
+// loop, pacing by duty-cycling, so implementations must keep a batch in
+// the sub-millisecond range and must not retain goroutines.
+type Worklet interface {
+	Name() string
+	Domain() Domain
+	// NewState allocates per-worker state (called once per worker).
+	NewState(seed uint64) WorkletState
+	// RefOpsPerWatt is the reference efficiency the score normalizes
+	// against (score 1.0 ≡ reference system).
+	RefOpsPerWatt() float64
+}
+
+// WorkletState is the per-goroutine execution state of a worklet.
+type WorkletState interface {
+	// Batch performs one batch and returns ops completed.
+	Batch() int64
+}
+
+// geoMean returns the geometric mean of positive values; zero or
+// negative inputs poison the result to 0, NaNs are rejected.
+func geoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			return math.NaN()
+		}
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vals)))
+}
+
+// weightedGeoMean returns exp(Σ w·log v / Σ w).
+func weightedGeoMean(vals, weights []float64) float64 {
+	if len(vals) == 0 || len(vals) != len(weights) {
+		return math.NaN()
+	}
+	var logSum, wSum float64
+	for i, v := range vals {
+		if math.IsNaN(v) || weights[i] <= 0 {
+			return math.NaN()
+		}
+		if v <= 0 {
+			return 0
+		}
+		logSum += weights[i] * math.Log(v)
+		wSum += weights[i]
+	}
+	if wSum == 0 {
+		return math.NaN()
+	}
+	return math.Exp(logSum / wSum)
+}

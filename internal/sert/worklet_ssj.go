@@ -1,0 +1,31 @@
+package sert
+
+import "repro/internal/ssj"
+
+// SSJWorklet runs the SPECpower ssj transaction mix as a SERT CPU
+// worklet — the real SERT likewise ships a "Hybrid SSJ" worklet reusing
+// the power benchmark's workload.
+type SSJWorklet struct{}
+
+// Name implements Worklet.
+func (SSJWorklet) Name() string { return "HybridSSJ" }
+
+// Domain implements Worklet.
+func (SSJWorklet) Domain() Domain { return DomainCPU }
+
+// RefOpsPerWatt implements Worklet.
+func (SSJWorklet) RefOpsPerWatt() float64 { return 2000 }
+
+type ssjState struct {
+	k *ssj.Kernel
+}
+
+// NewState implements Worklet.
+func (SSJWorklet) NewState(seed uint64) WorkletState {
+	return &ssjState{k: ssj.NewKernel(seed)}
+}
+
+// Batch implements WorkletState: 64 mixed transactions.
+func (s *ssjState) Batch() int64 {
+	return s.k.Do(64)
+}

@@ -1,0 +1,37 @@
+package sert
+
+import "testing"
+
+func TestSSJWorkletDoesTransactionWork(t *testing.T) {
+	w := SSJWorklet{}
+	if w.Domain() != DomainCPU || w.Name() != "HybridSSJ" {
+		t.Fatalf("identity: %v %v", w.Domain(), w.Name())
+	}
+	st := w.NewState(7)
+	var ops int64
+	for i := 0; i < 10; i++ {
+		ops += st.Batch()
+	}
+	if ops != 640 {
+		t.Errorf("ops = %d, want 640", ops)
+	}
+	// The underlying kernel accumulates observable state.
+	if st.(*ssjState).k.Checksum() == 0 {
+		t.Error("transaction work optimized away")
+	}
+}
+
+func TestSSJWorkletDeterministicMix(t *testing.T) {
+	a := SSJWorklet{}.NewState(42).(*ssjState)
+	b := SSJWorklet{}.NewState(42).(*ssjState)
+	a.k.Do(1000)
+	b.k.Do(1000)
+	if a.k.Checksum() != b.k.Checksum() {
+		t.Error("same seed should produce identical transaction streams")
+	}
+	c := SSJWorklet{}.NewState(43).(*ssjState)
+	c.k.Do(1000)
+	if c.k.Checksum() == a.k.Checksum() {
+		t.Error("different seeds should diverge")
+	}
+}

@@ -1,0 +1,192 @@
+package sert
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"sort"
+)
+
+// CryptoWorklet mirrors SERT's CryptoAES: AES-CBC encrypt/decrypt of
+// small buffers.
+type CryptoWorklet struct{}
+
+// Name implements Worklet.
+func (CryptoWorklet) Name() string { return "CryptoAES" }
+
+// Domain implements Worklet.
+func (CryptoWorklet) Domain() Domain { return DomainCPU }
+
+// RefOpsPerWatt implements Worklet.
+func (CryptoWorklet) RefOpsPerWatt() float64 { return 60 }
+
+type cryptoState struct {
+	enc cipher.BlockMode
+	dec cipher.BlockMode
+	buf []byte
+}
+
+// NewState implements Worklet.
+func (CryptoWorklet) NewState(seed uint64) WorkletState {
+	key := make([]byte, 32)
+	iv := make([]byte, aes.BlockSize)
+	r := xorshift(seed | 1)
+	for i := range key {
+		key[i] = byte(r.next())
+	}
+	for i := range iv {
+		iv[i] = byte(r.next())
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic(err) // cannot happen with a 32-byte key
+	}
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(r.next())
+	}
+	return &cryptoState{
+		enc: cipher.NewCBCEncrypter(block, iv),
+		dec: cipher.NewCBCDecrypter(block, iv),
+		buf: buf,
+	}
+}
+
+// Batch implements WorkletState: one encrypt+decrypt round trip.
+func (s *cryptoState) Batch() int64 {
+	s.enc.CryptBlocks(s.buf, s.buf)
+	s.dec.CryptBlocks(s.buf, s.buf)
+	return 2
+}
+
+// CompressWorklet mirrors SERT's Compress: DEFLATE a text-like buffer.
+type CompressWorklet struct{}
+
+// Name implements Worklet.
+func (CompressWorklet) Name() string { return "Compress" }
+
+// Domain implements Worklet.
+func (CompressWorklet) Domain() Domain { return DomainCPU }
+
+// RefOpsPerWatt implements Worklet.
+func (CompressWorklet) RefOpsPerWatt() float64 { return 4 }
+
+type compressState struct {
+	src []byte
+	dst bytes.Buffer
+	w   *flate.Writer
+}
+
+// NewState implements Worklet.
+func (CompressWorklet) NewState(seed uint64) WorkletState {
+	r := xorshift(seed | 1)
+	words := []string{"power", "efficiency", "server", "benchmark", "load", "idle "}
+	var src []byte
+	for len(src) < 16*1024 {
+		src = append(src, words[r.next()%uint64(len(words))]...)
+	}
+	s := &compressState{src: src}
+	w, err := flate.NewWriter(&s.dst, flate.BestSpeed)
+	if err != nil {
+		panic(err) // level is valid
+	}
+	s.w = w
+	return s
+}
+
+// Batch implements WorkletState: one full-buffer compression.
+func (s *compressState) Batch() int64 {
+	s.dst.Reset()
+	s.w.Reset(&s.dst)
+	if _, err := s.w.Write(s.src); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	if err := s.w.Close(); err != nil {
+		panic(err)
+	}
+	return 1
+}
+
+// SortWorklet mirrors SERT's LU/SOR-style integer work with a sort
+// kernel over pseudo-random keys.
+type SortWorklet struct{}
+
+// Name implements Worklet.
+func (SortWorklet) Name() string { return "Sort" }
+
+// Domain implements Worklet.
+func (SortWorklet) Domain() Domain { return DomainCPU }
+
+// RefOpsPerWatt implements Worklet.
+func (SortWorklet) RefOpsPerWatt() float64 { return 15 }
+
+type sortState struct {
+	rng  xorshift
+	keys []int
+}
+
+// NewState implements Worklet.
+func (SortWorklet) NewState(seed uint64) WorkletState {
+	return &sortState{rng: xorshift(seed | 1), keys: make([]int, 2048)}
+}
+
+// Batch implements WorkletState: refill and sort one buffer.
+func (s *sortState) Batch() int64 {
+	for i := range s.keys {
+		s.keys[i] = int(s.rng.next())
+	}
+	sort.Ints(s.keys)
+	return 1
+}
+
+// HashWorklet is a SHA-256 digest kernel (SERT's SHA256 worklet).
+type HashWorklet struct{}
+
+// Name implements Worklet.
+func (HashWorklet) Name() string { return "SHA256" }
+
+// Domain implements Worklet.
+func (HashWorklet) Domain() Domain { return DomainCPU }
+
+// RefOpsPerWatt implements Worklet.
+func (HashWorklet) RefOpsPerWatt() float64 { return 150 }
+
+type hashState struct {
+	buf [4096]byte
+	sum [32]byte
+}
+
+// NewState implements Worklet.
+func (HashWorklet) NewState(seed uint64) WorkletState {
+	s := &hashState{}
+	r := xorshift(seed | 1)
+	for i := range s.buf {
+		s.buf[i] = byte(r.next())
+	}
+	return s
+}
+
+// Batch implements WorkletState: hash the buffer, feeding the digest
+// back so the work cannot be hoisted.
+func (s *hashState) Batch() int64 {
+	s.sum = sha256.Sum256(s.buf[:])
+	copy(s.buf[:32], s.sum[:])
+	return 1
+}
+
+// xorshift is the same tiny PRNG the ssj engine uses.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	if v == 0 {
+		v = 0x9E3779B97F4A7C15
+	}
+	v ^= v >> 12
+	v ^= v << 25
+	v ^= v >> 27
+	*x = xorshift(v)
+	return v * 0x2545F4914F6CDD1D
+}

@@ -1,0 +1,84 @@
+package sert
+
+// FloodWorklet mirrors SERT's Flood: sequential memory bandwidth via
+// large block copies (a STREAM-like kernel).
+type FloodWorklet struct{}
+
+// Name implements Worklet.
+func (FloodWorklet) Name() string { return "Flood" }
+
+// Domain implements Worklet.
+func (FloodWorklet) Domain() Domain { return DomainMemory }
+
+// RefOpsPerWatt implements Worklet.
+func (FloodWorklet) RefOpsPerWatt() float64 { return 40 }
+
+type floodState struct {
+	a, b []uint64
+}
+
+// NewState implements Worklet. Each worker owns ~8 MB, comfortably
+// exceeding typical L2 so the traffic reaches shared cache/DRAM.
+func (FloodWorklet) NewState(seed uint64) WorkletState {
+	const words = 512 * 1024
+	s := &floodState{a: make([]uint64, words), b: make([]uint64, words)}
+	r := xorshift(seed | 1)
+	for i := range s.a {
+		s.a[i] = r.next()
+	}
+	return s
+}
+
+// Batch implements WorkletState: triad-style copy+scale pass.
+func (s *floodState) Batch() int64 {
+	for i := range s.a {
+		s.b[i] = s.a[i]*3 + 1
+	}
+	s.a, s.b = s.b, s.a
+	return 1
+}
+
+// CapacityWorklet mirrors SERT's Capacity: random access over a working
+// set larger than cache, stressing memory latency.
+type CapacityWorklet struct{}
+
+// Name implements Worklet.
+func (CapacityWorklet) Name() string { return "Capacity" }
+
+// Domain implements Worklet.
+func (CapacityWorklet) Domain() Domain { return DomainMemory }
+
+// RefOpsPerWatt implements Worklet.
+func (CapacityWorklet) RefOpsPerWatt() float64 { return 25 }
+
+type capacityState struct {
+	table []uint64
+	idx   uint64
+}
+
+// NewState implements Worklet: a pointer-chase table with a random
+// permutation cycle.
+func (CapacityWorklet) NewState(seed uint64) WorkletState {
+	const n = 1 << 20 // 8 MB of uint64 indices
+	s := &capacityState{table: make([]uint64, n)}
+	// Sattolo's algorithm: a single cycle through the whole table.
+	for i := range s.table {
+		s.table[i] = uint64(i)
+	}
+	r := xorshift(seed | 1)
+	for i := n - 1; i > 0; i-- {
+		j := int(r.next() % uint64(i))
+		s.table[i], s.table[j] = s.table[j], s.table[i]
+	}
+	return s
+}
+
+// Batch implements WorkletState: 1024 dependent loads.
+func (s *capacityState) Batch() int64 {
+	idx := s.idx
+	for k := 0; k < 1024; k++ {
+		idx = s.table[idx%uint64(len(s.table))]
+	}
+	s.idx = idx
+	return 1
+}

@@ -1,0 +1,108 @@
+package sert
+
+import "time"
+
+// The storage worklets run against a simulated block device: an
+// in-memory image with per-operation service latencies modelled on a
+// datacenter SSD. The paper's corpus machines idle their disks during
+// ssj, but SERT rates storage explicitly, so the substrate exists here
+// too — simulated, per DESIGN.md's substitution rules, because the
+// repository must not depend on host-disk behaviour.
+
+const (
+	storageBlockSize = 4096
+	storageBlocks    = 4096 // 16 MB image per worker
+	seqLatency       = 8 * time.Microsecond
+	randLatency      = 25 * time.Microsecond
+)
+
+// SequentialIOWorklet streams through the image in order.
+type SequentialIOWorklet struct{}
+
+// Name implements Worklet.
+func (SequentialIOWorklet) Name() string { return "SequentialIO" }
+
+// Domain implements Worklet.
+func (SequentialIOWorklet) Domain() Domain { return DomainStorage }
+
+// RefOpsPerWatt implements Worklet.
+func (SequentialIOWorklet) RefOpsPerWatt() float64 { return 300 }
+
+type seqIOState struct {
+	dev  *simDisk
+	next int
+}
+
+// NewState implements Worklet.
+func (SequentialIOWorklet) NewState(seed uint64) WorkletState {
+	return &seqIOState{dev: newSimDisk(seed)}
+}
+
+// Batch implements WorkletState: read 8 consecutive blocks.
+func (s *seqIOState) Batch() int64 {
+	for k := 0; k < 8; k++ {
+		s.dev.read(s.next, seqLatency)
+		s.next = (s.next + 1) % storageBlocks
+	}
+	return 8
+}
+
+// RandomIOWorklet issues 4K reads at random offsets.
+type RandomIOWorklet struct{}
+
+// Name implements Worklet.
+func (RandomIOWorklet) Name() string { return "RandomIO" }
+
+// Domain implements Worklet.
+func (RandomIOWorklet) Domain() Domain { return DomainStorage }
+
+// RefOpsPerWatt implements Worklet.
+func (RandomIOWorklet) RefOpsPerWatt() float64 { return 120 }
+
+type randIOState struct {
+	dev *simDisk
+	rng xorshift
+}
+
+// NewState implements Worklet.
+func (RandomIOWorklet) NewState(seed uint64) WorkletState {
+	return &randIOState{dev: newSimDisk(seed), rng: xorshift(seed | 1)}
+}
+
+// Batch implements WorkletState: 4 random-block reads.
+func (s *randIOState) Batch() int64 {
+	for k := 0; k < 4; k++ {
+		s.dev.read(int(s.rng.next()%storageBlocks), randLatency)
+	}
+	return 4
+}
+
+// simDisk is the in-memory device with service-time simulation.
+type simDisk struct {
+	image []byte
+	sink  byte
+}
+
+func newSimDisk(seed uint64) *simDisk {
+	d := &simDisk{image: make([]byte, storageBlockSize*storageBlocks)}
+	r := xorshift(seed | 1)
+	for i := 0; i < len(d.image); i += 64 {
+		d.image[i] = byte(r.next())
+	}
+	return d
+}
+
+// read touches one block and burns the device's service latency. The
+// latency is simulated with a busy-wait over a monotonic deadline so
+// durations well under the scheduler's sleep resolution still register.
+func (d *simDisk) read(block int, latency time.Duration) {
+	off := block * storageBlockSize
+	var acc byte
+	for i := off; i < off+storageBlockSize; i += 64 {
+		acc ^= d.image[i]
+	}
+	d.sink = acc
+	deadline := time.Now().Add(latency)
+	for time.Now().Before(deadline) {
+	}
+}

@@ -1,0 +1,92 @@
+// Package speccpu models SPEC CPU 2017 Integer and Floating Point Rate
+// Base scores for the catalog's processors. The paper uses SPEC CPU
+// results (Table I) to test whether the SPEC Power efficiency findings
+// generalize to floating-point workloads: the integer-rate ratio between
+// two systems tracks the ssj ratio, while the FP ratio is compressed by
+// Intel's wider vector units.
+//
+// The model is deliberately simple — throughput = core·GHz × a
+// per-generation rate factor, with FP scaled by the part's FPRatio —
+// because Table I's finding is about ratio structure, not absolute
+// scores.
+package speccpu
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/model"
+)
+
+// Result is a pair of SPEC CPU 2017 Rate Base scores.
+type Result struct {
+	IntRate float64
+	FPRate  float64
+}
+
+// rateAnchor interpolates the per-core-GHz integer rate factor over
+// hardware availability time, per vendor. Values are calibrated so the
+// Table I systems land on the published scores (Xeon Platinum 8490H:
+// 902 int / 926 fp; EPYC 9754: 1830 int / 1420 fp).
+type rateAnchor struct {
+	Year float64
+	K    float64
+}
+
+var intelRate = []rateAnchor{
+	{2006, 0.9}, {2012, 1.8}, {2017, 2.9}, {2019, 3.2}, {2021, 3.5},
+	{2023, 3.96}, {2025, 4.1},
+}
+
+var amdRate = []rateAnchor{
+	{2006, 0.8}, {2012, 1.3}, {2017, 2.5}, {2019, 2.9}, {2021, 3.3},
+	{2023, 3.5}, {2025, 3.7},
+}
+
+// densePenalty discounts very high core-count parts whose per-core
+// resources (cache, bandwidth) are thinner: Zen4c/Sierra-Forest class.
+func densePenalty(spec catalog.CPUSpec) float64 {
+	if spec.Cores >= 128 {
+		return 0.91
+	}
+	return 1.0
+}
+
+func rateFactor(spec catalog.CPUSpec) float64 {
+	table := amdRate
+	if spec.Vendor == model.VendorIntel {
+		table = intelRate
+	}
+	y := spec.Avail.Frac()
+	if y <= table[0].Year {
+		return table[0].K
+	}
+	last := table[len(table)-1]
+	if y >= last.Year {
+		return last.K
+	}
+	for i := 1; i < len(table); i++ {
+		if y > table[i].Year {
+			continue
+		}
+		a, b := table[i-1], table[i]
+		t := (y - a.Year) / (b.Year - a.Year)
+		return a.K + (b.K-a.K)*t
+	}
+	return last.K
+}
+
+// Rate estimates the SPEC CPU 2017 Rate Base scores of a system built
+// from sockets copies of spec.
+func Rate(spec catalog.CPUSpec, sockets int) (Result, error) {
+	if sockets < 1 || sockets > spec.MaxSockets {
+		return Result{}, fmt.Errorf("speccpu: %d sockets invalid for %s (max %d)",
+			sockets, spec.Name, spec.MaxSockets)
+	}
+	coreGHz := float64(sockets*spec.Cores) * spec.NominalGHz
+	intRate := coreGHz * rateFactor(spec) * densePenalty(spec)
+	return Result{
+		IntRate: intRate,
+		FPRate:  intRate * spec.FPRatio,
+	}, nil
+}

@@ -1,0 +1,79 @@
+package ssj
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/model"
+	"repro/internal/power"
+)
+
+// RunMeta carries the submission metadata AssembleRun cannot derive
+// from the hardware description.
+type RunMeta struct {
+	ID             string
+	TestDate       model.YearMonth
+	SubmissionDate model.YearMonth
+	SWAvail        model.YearMonth
+	SystemVendor   string
+	SystemName     string
+	OSName         string
+	JVM            string
+}
+
+// AssembleRun builds a complete, classification-clean model.Run from a
+// live engine result and the system description it was measured on —
+// the glue between the benchmark engine and the result-file layer used
+// by specssj, the examples, and the integration tests.
+func AssembleRun(spec catalog.CPUSpec, cfg power.SystemConfig, meta RunMeta, res *Result) (*model.Run, error) {
+	if res == nil || len(res.Points) == 0 {
+		return nil, fmt.Errorf("ssj: AssembleRun: empty result")
+	}
+	if err := cfg.Validate(spec); err != nil {
+		return nil, err
+	}
+	if meta.ID == "" {
+		meta.ID = fmt.Sprintf("power_ssj2008-%04d%02d01-00001",
+			meta.SubmissionDate.Year, int(meta.SubmissionDate.Month))
+	}
+	if meta.TestDate.IsZero() {
+		meta.TestDate = model.YM(2024, time.June)
+	}
+	if meta.SubmissionDate.IsZero() {
+		meta.SubmissionDate = meta.TestDate.AddMonths(1)
+	}
+	if meta.SWAvail.IsZero() {
+		meta.SWAvail = meta.TestDate
+	}
+	totalCores := cfg.Sockets * spec.Cores
+	r := &model.Run{
+		ID:             meta.ID,
+		Accepted:       true,
+		TestDate:       meta.TestDate,
+		SubmissionDate: meta.SubmissionDate,
+		HWAvail:        spec.Avail,
+		SWAvail:        meta.SWAvail,
+		SystemVendor:   meta.SystemVendor,
+		SystemName:     meta.SystemName,
+		CPUName:        spec.Name,
+		CPUVendor:      spec.Vendor,
+		CPUClass:       spec.Class,
+		Nodes:          1,
+		SocketsPerNode: cfg.Sockets,
+		CoresPerSocket: spec.Cores,
+		ThreadsPerCore: spec.ThreadsPerCore,
+		TotalCores:     totalCores,
+		TotalThreads:   totalCores * spec.ThreadsPerCore,
+		NominalGHz:     spec.NominalGHz,
+		TDPWatts:       spec.TDPWatts,
+		MemGB:          cfg.MemGB,
+		PSUWatts:       cfg.PSUWatts,
+		OSName:         meta.OSName,
+		JVM:            meta.JVM,
+		Points:         append([]model.LoadPoint(nil), res.Points...),
+	}
+	r.OSFamily = model.ParseOSFamily(r.OSName)
+	r.SortPoints()
+	return r, nil
+}

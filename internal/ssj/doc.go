@@ -1,0 +1,15 @@
+// Package ssj implements a simulator of the SPECpower_ssj2008 workload:
+// an integer-heavy transactional server workload with six weighted
+// transaction types executed against in-memory warehouses, a calibration
+// phase that finds the system's maximum throughput, and a graduated-load
+// measurement schedule (100 %, 90 %, …, 10 %, active idle).
+//
+// The engine really executes work on goroutine-backed warehouses and
+// paces transaction arrival to hit each target load, mirroring the
+// benchmark's design (SPEC, "Design Document SSJ Workload", 2012).
+// Power is observed through the Meter interface, implemented by an
+// in-process model-backed meter (SimMeter) and by the ptd package's
+// TCP client, so a full run exercises the same
+// workload → measurement → report → parse path that produced the
+// paper's dataset.
+package ssj

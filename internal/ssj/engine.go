@@ -1,0 +1,293 @@
+package ssj
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Config controls a benchmark run. The zero value is not runnable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// Warehouses is the number of worker goroutines (the benchmark maps
+	// one warehouse per hardware thread).
+	Warehouses int
+	// IntervalDuration is the length of each measurement interval. The
+	// real benchmark uses 240 s; tests use milliseconds.
+	IntervalDuration time.Duration
+	// CalibrationIntervals is the number of full-speed intervals used to
+	// find the maximum throughput (the last ones are averaged).
+	CalibrationIntervals int
+	// LoadLevels are the target loads in percent, highest first. Active
+	// idle (0 %) is always measured last and need not be listed.
+	LoadLevels []int
+	// Seed makes the workload deterministic.
+	Seed int64
+	// SamplePeriod is the meter sampling cadence (0 = one sample per
+	// interval boundary).
+	SamplePeriod time.Duration
+	// OpsScale converts measured transactions/s into reported ssj_ops.
+	OpsScale float64
+}
+
+// DefaultConfig returns a short-but-real configuration suitable for
+// examples: full graduated load with sub-second intervals.
+func DefaultConfig(warehouses int) Config {
+	return Config{
+		Warehouses:           warehouses,
+		IntervalDuration:     200 * time.Millisecond,
+		CalibrationIntervals: 3,
+		LoadLevels:           []int{100, 90, 80, 70, 60, 50, 40, 30, 20, 10},
+		Seed:                 1,
+		SamplePeriod:         10 * time.Millisecond,
+		OpsScale:             1,
+	}
+}
+
+// Validate reports the first unusable parameter.
+func (c Config) Validate() error {
+	switch {
+	case c.Warehouses < 1:
+		return fmt.Errorf("ssj: need ≥1 warehouse, have %d", c.Warehouses)
+	case c.IntervalDuration <= 0:
+		return fmt.Errorf("ssj: non-positive interval duration")
+	case c.CalibrationIntervals < 1:
+		return fmt.Errorf("ssj: need ≥1 calibration interval")
+	case len(c.LoadLevels) == 0:
+		return fmt.Errorf("ssj: no load levels")
+	}
+	for _, l := range c.LoadLevels {
+		if l <= 0 || l > 100 {
+			return fmt.Errorf("ssj: load level %d%% outside (0,100]", l)
+		}
+	}
+	return nil
+}
+
+// Interval is one measured interval of a run.
+type Interval struct {
+	TargetLoad int     // percent; 0 = active idle
+	TargetRate float64 // tx/s the pacer aimed for (0 during calibration/idle)
+	TxRate     float64 // achieved tx/s
+	AvgWatts   float64
+	Elapsed    time.Duration
+}
+
+// Result is the outcome of a complete run.
+type Result struct {
+	// CalibratedRate is the maximum sustainable throughput in tx/s.
+	CalibratedRate float64
+	// Points are the measurement intervals as model load points
+	// (ops scaled by Config.OpsScale).
+	Points []model.LoadPoint
+	// Intervals preserves raw per-interval data, calibration included.
+	Intervals []Interval
+	// TxCounts tallies transactions per type across the whole run.
+	TxCounts [int(numTxTypes)]int64
+}
+
+// Engine executes benchmark runs.
+type Engine struct {
+	cfg   Config
+	meter Meter
+}
+
+// NewEngine validates the configuration and builds an engine.
+func NewEngine(cfg Config, meter Meter) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if meter == nil {
+		return nil, fmt.Errorf("ssj: nil meter")
+	}
+	if cfg.OpsScale == 0 {
+		cfg.OpsScale = 1
+	}
+	return &Engine{cfg: cfg, meter: meter}, nil
+}
+
+// Run performs calibration, the graduated load levels, and active idle,
+// returning the assembled result.
+func (e *Engine) Run() (*Result, error) {
+	warehouses := make([]*warehouse, e.cfg.Warehouses)
+	for i := range warehouses {
+		warehouses[i] = newWarehouse(uint64(e.cfg.Seed)*0x9E3779B9 + uint64(i)*0x85EBCA6B)
+	}
+	res := &Result{}
+
+	// Calibration: full speed; the calibrated rate is the mean of all
+	// calibration intervals but the first (warm-up).
+	var calRates []float64
+	for i := 0; i < e.cfg.CalibrationIntervals; i++ {
+		iv, err := e.interval(warehouses, -1, 0)
+		if err != nil {
+			return nil, fmt.Errorf("ssj: calibration interval %d: %w", i, err)
+		}
+		res.Intervals = append(res.Intervals, iv)
+		calRates = append(calRates, iv.TxRate)
+	}
+	use := calRates
+	if len(use) > 1 {
+		use = use[1:]
+	}
+	var sum float64
+	for _, r := range use {
+		sum += r
+	}
+	res.CalibratedRate = sum / float64(len(use))
+	if res.CalibratedRate <= 0 {
+		return nil, fmt.Errorf("ssj: calibration produced zero throughput")
+	}
+
+	// Graduated load levels.
+	for _, level := range e.cfg.LoadLevels {
+		target := res.CalibratedRate * float64(level) / 100
+		iv, err := e.interval(warehouses, level, target)
+		if err != nil {
+			return nil, fmt.Errorf("ssj: load level %d%%: %w", level, err)
+		}
+		res.Intervals = append(res.Intervals, iv)
+		res.Points = append(res.Points, model.LoadPoint{
+			TargetLoad: level,
+			ActualOps:  iv.TxRate * e.cfg.OpsScale,
+			AvgPower:   iv.AvgWatts,
+		})
+	}
+
+	// Active idle.
+	iv, err := e.interval(warehouses, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("ssj: active idle: %w", err)
+	}
+	res.Intervals = append(res.Intervals, iv)
+	res.Points = append(res.Points, model.LoadPoint{TargetLoad: 0, AvgPower: iv.AvgWatts})
+
+	for _, w := range warehouses {
+		for t, c := range w.txCounts {
+			res.TxCounts[t] += c
+		}
+	}
+	return res, nil
+}
+
+// interval runs one measurement interval. level -1 means calibration
+// (full speed, load reported as 100 %); level 0 means active idle.
+func (e *Engine) interval(warehouses []*warehouse, level int, targetRate float64) (Interval, error) {
+	u := 1.0
+	if level >= 0 {
+		u = float64(level) / 100
+	}
+	e.meter.SetLoad(u)
+	if err := e.meter.Start(); err != nil {
+		return Interval{}, err
+	}
+
+	// Periodic sampling for meters that support it.
+	stopSampling := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	if s, ok := e.meter.(sampler); ok && e.cfg.SamplePeriod > 0 {
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			tick := time.NewTicker(e.cfg.SamplePeriod)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSampling:
+					return
+				case <-tick.C:
+					s.Sample()
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var executed int64
+	if level != 0 { // work happens at every level except active idle
+		perWarehouse := targetRate / float64(len(warehouses))
+		var wg sync.WaitGroup
+		counts := make([]int64, len(warehouses))
+		for i, w := range warehouses {
+			wg.Add(1)
+			go func(i int, w *warehouse) {
+				defer wg.Done()
+				counts[i] = runWorker(w, start, e.cfg.IntervalDuration, perWarehouse, level < 0)
+			}(i, w)
+		}
+		wg.Wait()
+		for _, c := range counts {
+			executed += c
+		}
+	} else {
+		time.Sleep(e.cfg.IntervalDuration)
+	}
+	elapsed := time.Since(start)
+
+	close(stopSampling)
+	samplerWG.Wait()
+	watts, err := e.meter.Stop()
+	if err != nil {
+		return Interval{}, err
+	}
+	iv := Interval{
+		TargetLoad: maxInt(level, 0),
+		TargetRate: targetRate,
+		TxRate:     float64(executed) / elapsed.Seconds(),
+		AvgWatts:   watts,
+		Elapsed:    elapsed,
+	}
+	if level < 0 {
+		iv.TargetLoad = 100
+	}
+	return iv, nil
+}
+
+// runWorker executes transactions on one warehouse until the deadline.
+// In full-speed mode it runs unthrottled; otherwise it paces itself with
+// a token bucket to approximate rate tx/s.
+func runWorker(w *warehouse, start time.Time, d time.Duration, rate float64, fullSpeed bool) int64 {
+	deadline := start.Add(d)
+	before := w.totalTx()
+	if fullSpeed {
+		for {
+			for k := 0; k < 64; k++ {
+				w.executeOne()
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+		}
+		return w.totalTx() - before
+	}
+	var done int64
+	for {
+		now := time.Now()
+		if now.After(deadline) {
+			break
+		}
+		allowed := int64(now.Sub(start).Seconds() * rate)
+		if done < allowed {
+			batch := allowed - done
+			if batch > 64 {
+				batch = 64
+			}
+			for k := int64(0); k < batch; k++ {
+				w.executeOne()
+			}
+			done += batch
+			continue
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return w.totalTx() - before
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

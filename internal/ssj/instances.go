@@ -1,0 +1,177 @@
+package ssj
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// MultiConfig describes a multi-instance run: the real benchmark
+// typically launches one JVM per NUMA node or per socket, each hosting
+// a group of warehouses, and sums their throughput.
+type MultiConfig struct {
+	// Instances is the number of JVM-equivalent engine groups.
+	Instances int
+	// PerInstance is the configuration applied to each instance
+	// (Warehouses is per instance).
+	PerInstance Config
+}
+
+// Validate reports the first unusable parameter.
+func (mc MultiConfig) Validate() error {
+	if mc.Instances < 1 {
+		return fmt.Errorf("ssj: need ≥1 instance, have %d", mc.Instances)
+	}
+	return mc.PerInstance.Validate()
+}
+
+// MultiResult aggregates a multi-instance run.
+type MultiResult struct {
+	// Combined has per-load-level points with summed throughput and the
+	// shared meter's power readings.
+	Combined []model.LoadPoint
+	// PerInstance keeps each instance's own result.
+	PerInstance []*Result
+	// CalibratedRate is the summed maximum throughput.
+	CalibratedRate float64
+}
+
+// RunMulti executes the instances against one shared meter. Instances
+// run their intervals in lockstep (the benchmark's director coordinates
+// all JVMs into common measurement intervals): for each interval the
+// instances execute concurrently and the meter measures once.
+//
+// Implementation note: the engine's own Run measures per instance, so
+// RunMulti instead drives interval-synchronized execution through a
+// shared barrier meter that starts/stops the real meter exactly once
+// per interval regardless of instance count.
+func RunMulti(mc MultiConfig, meter Meter) (*MultiResult, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	if meter == nil {
+		return nil, fmt.Errorf("ssj: nil meter")
+	}
+	shared := &sharedMeter{inner: meter, parties: mc.Instances}
+
+	results := make([]*Result, mc.Instances)
+	errs := make([]error, mc.Instances)
+	var wg sync.WaitGroup
+	for i := 0; i < mc.Instances; i++ {
+		cfg := mc.PerInstance
+		cfg.Seed = cfg.Seed*31 + int64(i) // distinct workloads per instance
+		eng, err := NewEngine(cfg, shared)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = eng.Run()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ssj: instance %d: %w", i, err)
+		}
+	}
+
+	out := &MultiResult{PerInstance: results}
+	for _, r := range results {
+		out.CalibratedRate += r.CalibratedRate
+	}
+	// Sum throughput per target load; power comes from the shared meter
+	// (identical readings handed to every instance).
+	base := results[0]
+	for pi, p := range base.Points {
+		combined := model.LoadPoint{TargetLoad: p.TargetLoad, AvgPower: p.AvgPower}
+		for _, r := range results {
+			if pi >= len(r.Points) || r.Points[pi].TargetLoad != p.TargetLoad {
+				return nil, fmt.Errorf("ssj: instance point mismatch at %d", pi)
+			}
+			combined.ActualOps += r.Points[pi].ActualOps
+		}
+		out.Combined = append(out.Combined, combined)
+	}
+	return out, nil
+}
+
+// sharedMeter multiplexes one physical meter across n lockstep engines:
+// the k-th Start of an interval actually starts the meter once, and the
+// k-th Stop stops it once, handing every caller the same reading. The
+// barrier also keeps the instances in lockstep, mirroring the
+// director's coordinated intervals.
+type sharedMeter struct {
+	inner   Meter
+	parties int
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	started    int
+	stopped    int
+	generation int
+	lastWatts  float64
+	lastErr    error
+}
+
+// SetLoad forwards the utilization (all instances agree on the target).
+func (s *sharedMeter) SetLoad(u float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.SetLoad(u)
+}
+
+// Start implements Meter with barrier semantics.
+func (s *sharedMeter) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cond == nil {
+		s.cond = sync.NewCond(&s.mu)
+	}
+	if s.started == 0 {
+		s.lastErr = s.inner.Start()
+	}
+	s.started++
+	gen := s.generation
+	for s.started < s.parties && gen == s.generation {
+		s.cond.Wait()
+	}
+	if s.started >= s.parties {
+		s.cond.Broadcast()
+	}
+	return s.lastErr
+}
+
+// Sample forwards to sampling meters.
+func (s *sharedMeter) Sample() {
+	if sm, ok := s.inner.(sampler); ok {
+		sm.Sample()
+	}
+}
+
+// Stop implements Meter: the last arriving instance stops the physical
+// meter; everyone receives the same reading.
+func (s *sharedMeter) Stop() (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cond == nil {
+		s.cond = sync.NewCond(&s.mu)
+	}
+	s.stopped++
+	if s.stopped == s.parties {
+		s.lastWatts, s.lastErr = s.inner.Stop()
+		// Reset for the next interval and release the barrier.
+		s.started = 0
+		s.stopped = 0
+		s.generation++
+		s.cond.Broadcast()
+		return s.lastWatts, s.lastErr
+	}
+	gen := s.generation
+	for gen == s.generation {
+		s.cond.Wait()
+	}
+	return s.lastWatts, s.lastErr
+}

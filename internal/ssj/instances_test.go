@@ -1,0 +1,99 @@
+package ssj
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunMultiValidation(t *testing.T) {
+	if _, err := RunMulti(MultiConfig{Instances: 0, PerInstance: shortConfig()}, testMeterM()); err == nil {
+		t.Error("0 instances should error")
+	}
+	if _, err := RunMulti(MultiConfig{Instances: 2}, testMeterM()); err == nil {
+		t.Error("invalid per-instance config should error")
+	}
+	if _, err := RunMulti(MultiConfig{Instances: 2, PerInstance: shortConfig()}, nil); err == nil {
+		t.Error("nil meter should error")
+	}
+}
+
+func testMeterM() *SimMeter {
+	return NewSimMeter(testCurve(), 0, 11)
+}
+
+func TestRunMultiCombines(t *testing.T) {
+	cfg := shortConfig()
+	cfg.IntervalDuration = 25 * time.Millisecond
+	cfg.LoadLevels = []int{100, 50}
+	res, err := RunMulti(MultiConfig{Instances: 3, PerInstance: cfg}, testMeterM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerInstance) != 3 {
+		t.Fatalf("instances = %d", len(res.PerInstance))
+	}
+	if len(res.Combined) != 3 { // 100, 50, idle
+		t.Fatalf("combined points = %d", len(res.Combined))
+	}
+	// Combined throughput is the sum of instance throughputs.
+	var sumFull float64
+	for _, r := range res.PerInstance {
+		p, ok := r.Point100()
+		if !ok {
+			t.Fatal("instance missing 100% point")
+		}
+		sumFull += p.ActualOps
+	}
+	if got := res.Combined[0].ActualOps; got != sumFull {
+		t.Errorf("combined 100%% ops = %v, want %v", got, sumFull)
+	}
+	// Calibrated rate sums too.
+	var sumCal float64
+	for _, r := range res.PerInstance {
+		sumCal += r.CalibratedRate
+	}
+	if res.CalibratedRate != sumCal {
+		t.Errorf("calibrated = %v, want %v", res.CalibratedRate, sumCal)
+	}
+	// All instances saw identical power readings per interval.
+	for pi := range res.Combined {
+		w0 := res.PerInstance[0].Points[pi].AvgPower
+		for ii, r := range res.PerInstance {
+			if r.Points[pi].AvgPower != w0 {
+				t.Errorf("instance %d point %d power %v != %v", ii, pi,
+					r.Points[pi].AvgPower, w0)
+			}
+		}
+		if res.Combined[pi].AvgPower != w0 {
+			t.Errorf("combined power %v != %v", res.Combined[pi].AvgPower, w0)
+		}
+	}
+	// Idle row does no work.
+	idle := res.Combined[len(res.Combined)-1]
+	if idle.TargetLoad != 0 || idle.ActualOps != 0 {
+		t.Errorf("idle row: %+v", idle)
+	}
+}
+
+func TestRunMultiSingleMatchesEngine(t *testing.T) {
+	// One instance through RunMulti behaves like a plain engine run.
+	cfg := shortConfig()
+	cfg.LoadLevels = []int{100}
+	res, err := RunMulti(MultiConfig{Instances: 1, PerInstance: cfg}, testMeterM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CalibratedRate <= 0 || len(res.Combined) != 2 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+// Point100 is a test helper on Result.
+func (r *Result) Point100() (p struct{ ActualOps float64 }, ok bool) {
+	for _, lp := range r.Points {
+		if lp.TargetLoad == 100 {
+			return struct{ ActualOps float64 }{lp.ActualOps}, true
+		}
+	}
+	return p, false
+}

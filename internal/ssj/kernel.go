@@ -1,0 +1,28 @@
+package ssj
+
+// Kernel exposes the ssj transaction workload as a reusable compute
+// kernel, so other harnesses (the SERT suite's hybrid worklet) can
+// execute the exact same transaction mix outside the benchmark engine.
+type Kernel struct {
+	w *warehouse
+}
+
+// NewKernel builds an independent warehouse-backed kernel. The seed is
+// mixed so adjacent seeds produce unrelated transaction streams.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{w: newWarehouse(seed*0x9E3779B97F4A7C15 + 0x7F4A7C15)}
+}
+
+// Do executes n mixed transactions and returns n.
+func (k *Kernel) Do(n int) int64 {
+	for i := 0; i < n; i++ {
+		k.w.executeOne()
+	}
+	return int64(n)
+}
+
+// Checksum exposes the accumulated result so callers can keep the work
+// observable (and so tests can verify it is not optimized away).
+func (k *Kernel) Checksum() int64 {
+	return k.w.checksum
+}

@@ -1,0 +1,96 @@
+package ssj
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/power"
+)
+
+// Meter observes AC power during measurement intervals. Implementations:
+// SimMeter (in-process, model-backed) and ptd.Client (TCP, backed by a
+// simulated power analyzer).
+type Meter interface {
+	// SetLoad informs the meter of the current target utilization in
+	// [0,1]; model-backed meters derive their reading from it.
+	SetLoad(u float64)
+	// Start begins averaging an interval.
+	Start() error
+	// Stop ends the interval and returns the average watts observed.
+	Stop() (watts float64, err error)
+}
+
+// SimMeter is an in-process Meter that synthesizes readings from a
+// power.Curve plus multiplicative Gaussian noise.
+type SimMeter struct {
+	mu      sync.Mutex
+	curve   power.Curve
+	noise   float64 // relative σ of each reading
+	rng     *rand.Rand
+	load    float64
+	running bool
+	sum     float64
+	n       int
+}
+
+// NewSimMeter builds a meter over the given curve. noise is the relative
+// standard deviation of individual readings (e.g. 0.01 for 1 %).
+func NewSimMeter(curve power.Curve, noise float64, seed int64) *SimMeter {
+	return &SimMeter{
+		curve: curve,
+		noise: noise,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetLoad implements Meter.
+func (m *SimMeter) SetLoad(u float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.load = u
+}
+
+// Start implements Meter.
+func (m *SimMeter) Start() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.running {
+		return fmt.Errorf("ssj: meter already started")
+	}
+	m.running = true
+	m.sum, m.n = 0, 0
+	return nil
+}
+
+// Sample records one reading; the engine calls it periodically during an
+// interval. It is a no-op when the meter is stopped.
+func (m *SimMeter) Sample() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.running {
+		return
+	}
+	w := m.curve.At(m.load) * (1 + m.noise*m.rng.NormFloat64())
+	m.sum += w
+	m.n++
+}
+
+// Stop implements Meter.
+func (m *SimMeter) Stop() (float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.running {
+		return 0, fmt.Errorf("ssj: meter not started")
+	}
+	m.running = false
+	if m.n == 0 {
+		// No explicit samples taken: fall back to one noiseless reading
+		// so very short test intervals still yield a measurement.
+		return m.curve.At(m.load), nil
+	}
+	return m.sum / float64(m.n), nil
+}
+
+// sampler lets the engine drive meters that need periodic sampling.
+type sampler interface{ Sample() }

@@ -1,0 +1,275 @@
+package ssj
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+)
+
+func testCurve() power.Curve {
+	return power.Curve{
+		FullWatts: 400,
+		Prof: power.Profile{IdleFrac: 0.2, LowIntercept: 0.3, Beta: 0.85,
+			TurboWeight: 0.25, TurboGamma: 3},
+	}
+}
+
+func shortConfig() Config {
+	cfg := DefaultConfig(2)
+	cfg.IntervalDuration = 30 * time.Millisecond
+	cfg.SamplePeriod = 2 * time.Millisecond
+	cfg.LoadLevels = []int{100, 50, 10}
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := shortConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Warehouses = 0 },
+		func(c *Config) { c.IntervalDuration = 0 },
+		func(c *Config) { c.CalibrationIntervals = 0 },
+		func(c *Config) { c.LoadLevels = nil },
+		func(c *Config) { c.LoadLevels = []int{120} },
+		func(c *Config) { c.LoadLevels = []int{0} },
+	}
+	for i, mut := range bad {
+		c := shortConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestNewEngineErrors(t *testing.T) {
+	if _, err := NewEngine(Config{}, nil); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := NewEngine(shortConfig(), nil); err == nil {
+		t.Error("nil meter should error")
+	}
+}
+
+func TestRunProducesAllIntervals(t *testing.T) {
+	cfg := shortConfig()
+	meter := NewSimMeter(testCurve(), 0.01, 7)
+	eng, err := NewEngine(cfg, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points: one per load level plus active idle.
+	if len(res.Points) != len(cfg.LoadLevels)+1 {
+		t.Fatalf("points = %d, want %d", len(res.Points), len(cfg.LoadLevels)+1)
+	}
+	if res.Points[len(res.Points)-1].TargetLoad != 0 {
+		t.Error("last point must be active idle")
+	}
+	if res.CalibratedRate <= 0 {
+		t.Error("calibration found no throughput")
+	}
+	// Idle does no work.
+	idle := res.Points[len(res.Points)-1]
+	if idle.ActualOps != 0 {
+		t.Errorf("idle ops = %v", idle.ActualOps)
+	}
+	if idle.AvgPower <= 0 {
+		t.Errorf("idle power = %v", idle.AvgPower)
+	}
+	// Intervals include calibration runs.
+	if len(res.Intervals) != cfg.CalibrationIntervals+len(cfg.LoadLevels)+1 {
+		t.Errorf("intervals = %d", len(res.Intervals))
+	}
+}
+
+func TestPacingReducesThroughput(t *testing.T) {
+	cfg := shortConfig()
+	cfg.LoadLevels = []int{100, 50, 20}
+	cfg.IntervalDuration = 60 * time.Millisecond
+	meter := NewSimMeter(testCurve(), 0, 7)
+	eng, err := NewEngine(cfg, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(load int) float64 {
+		for _, p := range res.Points {
+			if p.TargetLoad == load {
+				return p.ActualOps
+			}
+		}
+		t.Fatalf("missing load %d", load)
+		return 0
+	}
+	full, half, fifth := get(100), get(50), get(20)
+	if half >= full*0.85 {
+		t.Errorf("50%% load achieved %.0f vs full %.0f; pacing ineffective", half, full)
+	}
+	if fifth >= half {
+		t.Errorf("20%% load %.0f should be below 50%% load %.0f", fifth, half)
+	}
+	// Pacing should be reasonably accurate: 50% of calibrated ±40%.
+	want := res.CalibratedRate * 0.5
+	if half < want*0.6 || half > want*1.4 {
+		t.Errorf("50%% load = %.0f tx/s, want ≈%.0f", half, want)
+	}
+}
+
+func TestPowerFollowsLoad(t *testing.T) {
+	cfg := shortConfig()
+	meter := NewSimMeter(testCurve(), 0, 3)
+	eng, _ := NewEngine(cfg, meter)
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p100, p50, pIdle float64
+	for _, p := range res.Points {
+		switch p.TargetLoad {
+		case 100:
+			p100 = p.AvgPower
+		case 50:
+			p50 = p.AvgPower
+		case 0:
+			pIdle = p.AvgPower
+		}
+	}
+	if !(p100 > p50 && p50 > pIdle) {
+		t.Errorf("power ordering broken: 100%%=%v 50%%=%v idle=%v", p100, p50, pIdle)
+	}
+	// Idle should match the curve's idle fraction.
+	wantIdle := testCurve().At(0)
+	if math.Abs(pIdle-wantIdle) > 1 {
+		t.Errorf("idle power = %v, want ≈%v", pIdle, wantIdle)
+	}
+}
+
+func TestDeterministicWorkload(t *testing.T) {
+	// Same seed ⇒ same per-type transaction mix shares (throughput
+	// varies with the host, the mix must not).
+	run := func() [int(numTxTypes)]int64 {
+		cfg := shortConfig()
+		meter := NewSimMeter(testCurve(), 0, 1)
+		eng, _ := NewEngine(cfg, meter)
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TxCounts
+	}
+	counts := run()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no transactions executed")
+	}
+	// Mix shares approximate MixWeights.
+	for tt, want := range MixWeights {
+		got := float64(counts[tt]) / float64(total)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("%v share = %.3f, want ≈%.3f", TxType(tt), got, want)
+		}
+	}
+}
+
+func TestMeterLifecycleErrors(t *testing.T) {
+	m := NewSimMeter(testCurve(), 0, 1)
+	if _, err := m.Stop(); err == nil {
+		t.Error("Stop before Start should error")
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err == nil {
+		t.Error("double Start should error")
+	}
+	if _, err := m.Stop(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimMeterAveraging(t *testing.T) {
+	m := NewSimMeter(testCurve(), 0, 1)
+	m.SetLoad(1)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		m.Sample()
+	}
+	w, err := m.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-400) > 1e-9 {
+		t.Errorf("avg = %v, want 400", w)
+	}
+	// Noiseless fallback when no samples were taken.
+	m2 := NewSimMeter(testCurve(), 0.5, 2)
+	m2.SetLoad(0)
+	_ = m2.Start()
+	w2, err := m2.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w2-testCurve().At(0)) > 1e-9 {
+		t.Errorf("fallback reading = %v", w2)
+	}
+}
+
+func TestWarehouseTransactions(t *testing.T) {
+	w := newWarehouse(42)
+	// Execute every type directly; none may panic on fresh state.
+	for tt := TxType(0); tt < numTxTypes; tt++ {
+		w.execute(tt)
+	}
+	// Fill the ring past capacity to exercise wraparound.
+	for i := 0; i < 3*orderRingCapacity; i++ {
+		w.newOrder()
+	}
+	if w.count != orderRingCapacity {
+		t.Errorf("ring count = %d, want %d", w.count, orderRingCapacity)
+	}
+	for i := 0; i < 100; i++ {
+		w.delivery()
+		w.orderStatus()
+		w.customerReport()
+		w.stockLevel()
+		w.payment()
+	}
+	if w.totalTx() == 0 || w.checksum == 0 {
+		t.Error("work was optimized away")
+	}
+}
+
+func TestTxTypeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for tt := TxType(0); tt < numTxTypes; tt++ {
+		s := tt.String()
+		if s == "" || seen[s] {
+			t.Errorf("bad name for tx %d: %q", tt, s)
+		}
+		seen[s] = true
+	}
+	// Weights sum to ≈1.
+	var sum float64
+	for _, w := range MixWeights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Errorf("mix weights sum to %v", sum)
+	}
+}

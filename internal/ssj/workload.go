@@ -1,0 +1,251 @@
+package ssj
+
+import "fmt"
+
+// TxType enumerates the six ssj transaction types.
+type TxType int
+
+// The six transaction types and their canonical mix weights.
+const (
+	TxNewOrder TxType = iota
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+	TxCustomerReport
+	numTxTypes
+)
+
+// String names the transaction type as in the design document.
+func (t TxType) String() string {
+	switch t {
+	case TxNewOrder:
+		return "New Order"
+	case TxPayment:
+		return "Payment"
+	case TxOrderStatus:
+		return "Order Status"
+	case TxDelivery:
+		return "Delivery"
+	case TxStockLevel:
+		return "Stock Level"
+	case TxCustomerReport:
+		return "Customer Report"
+	default:
+		return fmt.Sprintf("TxType(%d)", int(t))
+	}
+}
+
+// MixWeights is the transaction mix: three heavy types at 30.3 % and
+// three light types at ≈3 % each, echoing the benchmark's weighting.
+var MixWeights = [numTxTypes]float64{
+	TxNewOrder:       0.303,
+	TxPayment:        0.303,
+	TxOrderStatus:    0.0303,
+	TxDelivery:       0.0303,
+	TxStockLevel:     0.0303,
+	TxCustomerReport: 0.303,
+}
+
+const (
+	itemsPerWarehouse  = 512
+	orderRingCapacity  = 1024
+	maxOrderLines      = 12
+	lowStockThreshold  = 100
+	initialStockLevel  = 5000
+	customerReportSpan = 64
+)
+
+type item struct {
+	price int64
+	stock int64
+}
+
+type order struct {
+	id    int64
+	lines int
+	total int64
+}
+
+// warehouse is one unit of parallelism: a private data set mutated by
+// exactly one worker goroutine, so no locking is needed on the hot path.
+type warehouse struct {
+	rng     xorshift
+	items   [itemsPerWarehouse]item
+	ring    [orderRingCapacity]order
+	head    int // next write position
+	count   int // live orders in the ring
+	nextID  int64
+	balance int64
+	// txCounts tallies executed transactions per type.
+	txCounts [numTxTypes]int64
+	// checksum accumulates results so the work cannot be optimized away.
+	checksum int64
+}
+
+// xorshift is a tiny deterministic PRNG (xorshift64*), cheap enough to
+// sit inside the transaction hot path.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	if v == 0 {
+		v = 0x9E3779B97F4A7C15
+	}
+	v ^= v >> 12
+	v ^= v << 25
+	v ^= v >> 27
+	*x = xorshift(v)
+	return v * 0x2545F4914F6CDD1D
+}
+
+func (x *xorshift) intn(n int) int {
+	return int(x.next() % uint64(n))
+}
+
+func newWarehouse(seed uint64) *warehouse {
+	w := &warehouse{rng: xorshift(seed | 1)}
+	for i := range w.items {
+		w.items[i] = item{
+			price: int64(100 + w.rng.intn(9900)), // cents
+			stock: initialStockLevel,
+		}
+	}
+	return w
+}
+
+// pickTx selects a transaction type according to MixWeights.
+func (w *warehouse) pickTx() TxType {
+	// The cumulative mix is encoded as per-mille thresholds.
+	r := w.rng.intn(1000)
+	switch {
+	case r < 303:
+		return TxNewOrder
+	case r < 606:
+		return TxPayment
+	case r < 636:
+		return TxOrderStatus
+	case r < 666:
+		return TxDelivery
+	case r < 697:
+		return TxStockLevel
+	default:
+		return TxCustomerReport
+	}
+}
+
+// execute runs one transaction of the given type and returns 1 (ops are
+// counted per transaction).
+func (w *warehouse) execute(t TxType) {
+	w.txCounts[t]++
+	switch t {
+	case TxNewOrder:
+		w.newOrder()
+	case TxPayment:
+		w.payment()
+	case TxOrderStatus:
+		w.orderStatus()
+	case TxDelivery:
+		w.delivery()
+	case TxStockLevel:
+		w.stockLevel()
+	case TxCustomerReport:
+		w.customerReport()
+	}
+}
+
+// executeOne picks a mixed transaction and runs it.
+func (w *warehouse) executeOne() {
+	w.execute(w.pickTx())
+}
+
+func (w *warehouse) newOrder() {
+	lines := 4 + w.rng.intn(maxOrderLines-3)
+	var total int64
+	for l := 0; l < lines; l++ {
+		it := &w.items[w.rng.intn(itemsPerWarehouse)]
+		qty := int64(1 + w.rng.intn(9))
+		it.stock -= qty
+		if it.stock < 0 {
+			it.stock += initialStockLevel // restock, as the spec's workload does
+		}
+		total += qty * it.price
+	}
+	w.nextID++
+	w.ring[w.head] = order{id: w.nextID, lines: lines, total: total}
+	w.head = (w.head + 1) % orderRingCapacity
+	if w.count < orderRingCapacity {
+		w.count++
+	}
+	w.checksum += total
+}
+
+func (w *warehouse) payment() {
+	amount := int64(500 + w.rng.intn(50000))
+	w.balance += amount
+	// Simulated fee schedule: a little integer math per payment.
+	fee := amount / 40
+	if amount > 25000 {
+		fee += (amount - 25000) / 100
+	}
+	w.balance -= fee
+	w.checksum += fee
+}
+
+func (w *warehouse) orderStatus() {
+	if w.count == 0 {
+		return
+	}
+	idx := (w.head - 1 - w.rng.intn(w.count) + 2*orderRingCapacity) % orderRingCapacity
+	o := w.ring[idx]
+	w.checksum += o.total ^ int64(o.lines)
+}
+
+func (w *warehouse) delivery() {
+	// Deliver (drop) the oldest few orders.
+	n := 1 + w.rng.intn(4)
+	if n > w.count {
+		n = w.count
+	}
+	for k := 0; k < n; k++ {
+		tail := (w.head - w.count + 2*orderRingCapacity) % orderRingCapacity
+		w.checksum += w.ring[tail].id
+		w.count--
+	}
+}
+
+func (w *warehouse) stockLevel() {
+	start := w.rng.intn(itemsPerWarehouse)
+	low := 0
+	for k := 0; k < 100; k++ {
+		if w.items[(start+k)%itemsPerWarehouse].stock < lowStockThreshold {
+			low++
+		}
+	}
+	w.checksum += int64(low)
+}
+
+func (w *warehouse) customerReport() {
+	if w.count == 0 {
+		return
+	}
+	span := customerReportSpan
+	if span > w.count {
+		span = w.count
+	}
+	var sum int64
+	for k := 0; k < span; k++ {
+		idx := (w.head - 1 - k + 2*orderRingCapacity) % orderRingCapacity
+		sum += w.ring[idx].total
+	}
+	w.checksum += sum / int64(span)
+}
+
+// totalTx returns the number of transactions executed so far.
+func (w *warehouse) totalTx() int64 {
+	var s int64
+	for _, c := range w.txCounts {
+		s += c
+	}
+	return s
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+	Level float64 // e.g. 0.95
+}
+
+// BootstrapMeanCI estimates a percentile-bootstrap confidence interval
+// for the mean of the finite entries of xs, using resamples draws from a
+// deterministic generator seeded with seed. Level must lie in (0,1).
+func BootstrapMeanCI(xs []float64, resamples int, level float64, seed int64) (CI, error) {
+	return bootstrapCI(xs, resamples, level, seed, Mean)
+}
+
+// BootstrapMedianCI is BootstrapMeanCI for the median.
+func BootstrapMedianCI(xs []float64, resamples int, level float64, seed int64) (CI, error) {
+	return bootstrapCI(xs, resamples, level, seed, Median)
+}
+
+func bootstrapCI(xs []float64, resamples int, level float64, seed int64,
+	stat func([]float64) float64) (CI, error) {
+
+	clean := DropNaN(xs)
+	if len(clean) == 0 {
+		return CI{}, fmt.Errorf("stats: bootstrap on empty sample")
+	}
+	if resamples < 1 {
+		return CI{}, fmt.Errorf("stats: bootstrap needs ≥1 resample, got %d", resamples)
+	}
+	if !(level > 0 && level < 1) {
+		return CI{}, fmt.Errorf("stats: bootstrap level %v outside (0,1)", level)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draws := make([]float64, resamples)
+	buf := make([]float64, len(clean))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = clean[rng.Intn(len(clean))]
+		}
+		draws[r] = stat(buf)
+	}
+	sort.Float64s(draws)
+	alpha := (1 - level) / 2
+	return CI{
+		Point: stat(clean),
+		Lo:    quantileSorted(draws, alpha),
+		Hi:    quantileSorted(draws, 1-alpha),
+		Level: level,
+	}, nil
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPettittFindsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ys := make([]float64, 40)
+	for i := range ys {
+		base := 10.0
+		if i >= 25 {
+			base = 20.0
+		}
+		ys[i] = base + rng.NormFloat64()
+	}
+	res, err := Pettitt(ys, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant {
+		t.Errorf("clear shift not significant: %+v", res)
+	}
+	if res.Index < 20 || res.Index > 28 {
+		t.Errorf("changepoint at %d, want ≈24", res.Index)
+	}
+}
+
+func TestPettittNoShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ys := make([]float64, 40)
+	for i := range ys {
+		ys[i] = rng.NormFloat64()
+	}
+	res, err := Pettitt(ys, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant {
+		t.Errorf("noise flagged as changepoint: %+v", res)
+	}
+	if res.P < 0 || res.P > 1 {
+		t.Errorf("p = %v", res.P)
+	}
+}
+
+func TestPettittVShape(t *testing.T) {
+	// A V-shaped series (like the idle fraction history) has its
+	// changepoint at the regime boundary, not the minimum itself; the
+	// test still localizes the structural break.
+	var ys []float64
+	for i := 0; i < 12; i++ {
+		ys = append(ys, 70-5*float64(i)) // falling era
+	}
+	for i := 0; i < 7; i++ {
+		ys = append(ys, 12+2*float64(i)) // rising era
+	}
+	res, err := Pettitt(ys, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant {
+		t.Errorf("V-shape not significant: %+v", res)
+	}
+	if res.Index < 5 || res.Index > 14 {
+		t.Errorf("changepoint at %d for a fall/rise boundary near 11", res.Index)
+	}
+}
+
+func TestPettittErrors(t *testing.T) {
+	if _, err := Pettitt([]float64{1, 2, 3}, 0.05); err == nil {
+		t.Error("too short should error")
+	}
+	if _, err := Pettitt([]float64{1, 2, 3, 4}, 2); err == nil {
+		t.Error("bad alpha should error")
+	}
+}

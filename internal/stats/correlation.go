@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson product-moment correlation of the finite
+// (x,y) pairs. It returns an error on length mismatch, fewer than two
+// usable pairs, or zero variance on either side.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: Pearson length mismatch %d != %d", len(xs), len(ys))
+	}
+	var sx, sy float64
+	n := 0
+	for i := range xs {
+		if !finite(xs[i]) || !finite(ys[i]) {
+			continue
+		}
+		sx += xs[i]
+		sy += ys[i]
+		n++
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("stats: Pearson needs ≥2 finite pairs, have %d", n)
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, syy, sxy float64
+	for i := range xs {
+		if !finite(xs[i]) || !finite(ys[i]) {
+			continue
+		}
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: Pearson degenerate: zero variance")
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Clamp tiny floating-point excursions outside [-1, 1].
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r, nil
+}
+
+// Spearman returns the Spearman rank correlation: the Pearson
+// correlation of the rank-transformed data, with ties assigned the mean
+// of the ranks they span (fractional ranking).
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: Spearman length mismatch %d != %d", len(xs), len(ys))
+	}
+	// Keep only jointly finite pairs so the two rank vectors align.
+	var fx, fy []float64
+	for i := range xs {
+		if finite(xs[i]) && finite(ys[i]) {
+			fx = append(fx, xs[i])
+			fy = append(fy, ys[i])
+		}
+	}
+	if len(fx) < 2 {
+		return 0, fmt.Errorf("stats: Spearman needs ≥2 finite pairs, have %d", len(fx))
+	}
+	return Pearson(Ranks(fx), Ranks(fy))
+}
+
+// Ranks returns the fractional (mid) ranks of xs, 1-based: the smallest
+// value gets rank 1, and tied values share the mean of the ranks they
+// occupy. NaN entries receive NaN ranks.
+func Ranks(xs []float64) []float64 {
+	type iv struct {
+		idx int
+		v   float64
+	}
+	ordered := make([]iv, 0, len(xs))
+	for i, x := range xs {
+		if finite(x) {
+			ordered = append(ordered, iv{i, x})
+		}
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].v < ordered[b].v })
+	ranks := make([]float64, len(xs))
+	for i := range ranks {
+		ranks[i] = math.NaN()
+	}
+	for i := 0; i < len(ordered); {
+		j := i
+		for j < len(ordered) && ordered[j].v == ordered[i].v {
+			j++
+		}
+		// Ranks i+1 .. j span the tie group; assign their mean.
+		mean := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			ranks[ordered[k].idx] = mean
+		}
+		i = j
+	}
+	return ranks
+}
+
+// CorrMatrix computes the pairwise Pearson correlation matrix of the
+// given named columns. Entries that cannot be computed (degenerate
+// columns) are NaN. The result is symmetric with a unit diagonal.
+func CorrMatrix(cols map[string][]float64, names []string) [][]float64 {
+	n := len(names)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			r, err := Pearson(cols[names[i]], cols[names[j]])
+			if err != nil {
+				r = math.NaN()
+			}
+			m[i][j] = r
+			m[j][i] = r
+		}
+	}
+	return m
+}

@@ -1,0 +1,43 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleLinReg shows the two-point idle extrapolation the paper uses
+// (Section IV): fit the 10 % and 20 % load powers, evaluate at 0 %.
+func ExampleLinReg() {
+	fit, err := stats.LinReg([]float64{10, 20}, []float64{150, 180})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("extrapolated idle: %.0f W\n", fit.Predict(0))
+	// Output:
+	// extrapolated idle: 120 W
+}
+
+// ExampleMannKendall tests a yearly series for a monotonic trend.
+func ExampleMannKendall() {
+	idleFraction := []float64{0.70, 0.62, 0.51, 0.40, 0.33, 0.25, 0.21, 0.18, 0.16}
+	res, err := stats.MannKendall(idleFraction, 0.05)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("direction:", res.Direction)
+	// Output:
+	// direction: decreasing
+}
+
+// ExampleBox computes the five-number summary behind Figure 4's boxes.
+func ExampleBox() {
+	relEff := []float64{0.92, 0.95, 0.98, 1.00, 1.02, 1.05, 1.31}
+	b := stats.Box(relEff)
+	fmt.Printf("median %.2f, IQR [%.2f, %.2f], outliers %v\n",
+		b.Median, b.Q1, b.Q3, b.Outliers)
+	// Output:
+	// median 1.00, IQR [0.96, 1.04], outliers [1.31]
+}

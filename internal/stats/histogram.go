@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width binning of a sample.
+type Histogram struct {
+	// Edges has len(Counts)+1 entries; bin i covers [Edges[i], Edges[i+1]),
+	// with the final bin closed on the right.
+	Edges  []float64
+	Counts []int
+	// Under/Over count finite observations outside [Edges[0], Edges[last]].
+	Under, Over int
+}
+
+// NewHistogram bins the finite entries of xs into n equal-width bins
+// spanning [lo, hi]. It returns an error for n < 1 or hi ≤ lo.
+func NewHistogram(xs []float64, n int, lo, hi float64) (*Histogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: histogram needs ≥1 bin, got %d", n)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v] invalid", lo, hi)
+	}
+	h := &Histogram{
+		Edges:  make([]float64, n+1),
+		Counts: make([]int, n),
+	}
+	width := (hi - lo) / float64(n)
+	for i := 0; i <= n; i++ {
+		h.Edges[i] = lo + width*float64(i)
+	}
+	h.Edges[n] = hi // avoid accumulation error at the top edge
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		switch {
+		case x < lo:
+			h.Under++
+		case x > hi:
+			h.Over++
+		case x == hi:
+			h.Counts[n-1]++
+		default:
+			idx := int((x - lo) / width)
+			if idx >= n { // guard rounding at the edge
+				idx = n - 1
+			}
+			h.Counts[idx]++
+		}
+	}
+	return h, nil
+}
+
+// Total returns the number of binned observations (excluding under/over).
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Mode returns the midpoint of the fullest bin, or NaN on an empty
+// histogram.
+func (h *Histogram) Mode() float64 {
+	best, bestCount := -1, 0
+	for i, c := range h.Counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best < 0 {
+		return math.NaN()
+	}
+	return (h.Edges[best] + h.Edges[best+1]) / 2
+}

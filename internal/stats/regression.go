@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinFit is an ordinary-least-squares line y = Intercept + Slope·x.
+type LinFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+	N         int     // number of finite (x,y) pairs used
+}
+
+// LinReg fits a least-squares line through the finite (x,y) pairs. Pairs
+// with a NaN/Inf on either side are skipped. It returns an error if the
+// slices differ in length or fewer than two usable pairs remain, or if
+// all x values coincide (vertical line).
+func LinReg(xs, ys []float64) (LinFit, error) {
+	if len(xs) != len(ys) {
+		return LinFit{}, fmt.Errorf("stats: LinReg length mismatch %d != %d", len(xs), len(ys))
+	}
+	var sx, sy float64
+	n := 0
+	for i := range xs {
+		if !finite(xs[i]) || !finite(ys[i]) {
+			continue
+		}
+		sx += xs[i]
+		sy += ys[i]
+		n++
+	}
+	if n < 2 {
+		return LinFit{}, fmt.Errorf("stats: LinReg needs ≥2 finite pairs, have %d", n)
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		if !finite(xs[i]) || !finite(ys[i]) {
+			continue
+		}
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinFit{}, fmt.Errorf("stats: LinReg degenerate: all x equal")
+	}
+	slope := sxy / sxx
+	fit := LinFit{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		N:         n,
+	}
+	switch {
+	case syy == 0:
+		fit.R2 = 1 // constant y perfectly fit by horizontal line
+	default:
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinFit) Predict(x float64) float64 {
+	return f.Intercept + f.Slope*x
+}
+
+// TwoPointLine returns the exact line through (x1,y1) and (x2,y2), the
+// degenerate regression the paper uses to extrapolate idle power from
+// the 10 % and 20 % load points.
+func TwoPointLine(x1, y1, x2, y2 float64) (LinFit, error) {
+	if x1 == x2 {
+		return LinFit{}, fmt.Errorf("stats: TwoPointLine degenerate: x1 == x2")
+	}
+	slope := (y2 - y1) / (x2 - x1)
+	return LinFit{Slope: slope, Intercept: y1 - slope*x1, R2: 1, N: 2}, nil
+}
+
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}

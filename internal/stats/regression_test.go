@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinRegExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	fit, err := LinReg(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 3, 1e-12) || !almostEq(fit.Intercept, 7, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if got := fit.Predict(10); !almostEq(got, 37, 1e-12) {
+		t.Errorf("Predict(10) = %v", got)
+	}
+}
+
+func TestLinRegNoisy(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9}
+	fit, err := LinReg(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope < 1.8 || fit.Slope > 2.2 {
+		t.Errorf("Slope = %v, want ≈2", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want ≈1", fit.R2)
+	}
+}
+
+func TestLinRegErrors(t *testing.T) {
+	if _, err := LinReg([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := LinReg([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := LinReg([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("vertical line should error")
+	}
+	if _, err := LinReg([]float64{math.NaN(), 1}, []float64{1, 2}); err == nil {
+		t.Error("one finite pair should error")
+	}
+}
+
+func TestLinRegSkipsNaN(t *testing.T) {
+	xs := []float64{0, 1, math.NaN(), 2}
+	ys := []float64{7, 10, 99, 13}
+	fit, err := LinReg(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != 3 || !almostEq(fit.Slope, 3, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestLinRegResidualOrthogonality(t *testing.T) {
+	// OLS residuals are orthogonal to x and sum to zero.
+	f := func(pts [][2]float64) bool {
+		if len(pts) < 3 {
+			return true
+		}
+		var xs, ys []float64
+		for _, p := range pts {
+			x := math.Mod(p[0], 1000)
+			y := math.Mod(p[1], 1000)
+			if !finite(x) || !finite(y) {
+				return true
+			}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		fit, err := LinReg(xs, ys)
+		if err != nil {
+			return true // degenerate input; nothing to check
+		}
+		var sumR, sumRX, scale float64
+		for i := range xs {
+			r := ys[i] - fit.Predict(xs[i])
+			sumR += r
+			sumRX += r * xs[i]
+			scale += math.Abs(ys[i]) + math.Abs(xs[i]) + 1
+		}
+		tol := 1e-6 * scale
+		return math.Abs(sumR) < tol && math.Abs(sumRX) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPointLine(t *testing.T) {
+	fit, err := TwoPointLine(10, 150, 20, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 3, 1e-12) || !almostEq(fit.Intercept, 120, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !almostEq(fit.Predict(0), 120, 1e-12) {
+		t.Errorf("Predict(0) = %v", fit.Predict(0))
+	}
+	if _, err := TwoPointLine(5, 1, 5, 2); err == nil {
+		t.Error("vertical two-point line should error")
+	}
+}
+
+func TestTwoPointMatchesLinReg(t *testing.T) {
+	fitA, errA := TwoPointLine(10, 151.2, 20, 183.4)
+	fitB, errB := LinReg([]float64{10, 20}, []float64{151.2, 183.4})
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !almostEq(fitA.Slope, fitB.Slope, 1e-9) ||
+		!almostEq(fitA.Intercept, fitB.Intercept, 1e-9) {
+		t.Errorf("two-point %+v vs OLS %+v", fitA, fitB)
+	}
+}

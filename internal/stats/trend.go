@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KendallTau returns Kendall's τ-b rank correlation of the jointly
+// finite (x,y) pairs, with tie correction. It errors with fewer than
+// two usable pairs or when either side is entirely tied.
+func KendallTau(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: KendallTau length mismatch %d != %d", len(xs), len(ys))
+	}
+	var fx, fy []float64
+	for i := range xs {
+		if finite(xs[i]) && finite(ys[i]) {
+			fx = append(fx, xs[i])
+			fy = append(fy, ys[i])
+		}
+	}
+	n := len(fx)
+	if n < 2 {
+		return 0, fmt.Errorf("stats: KendallTau needs ≥2 finite pairs, have %d", n)
+	}
+	var concordant, discordant, tieX, tieY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := fx[i] - fx[j]
+			dy := fy[i] - fy[j]
+			switch {
+			case dx == 0 && dy == 0:
+				tieX++
+				tieY++
+			case dx == 0:
+				tieX++
+			case dy == 0:
+				tieY++
+			case dx*dy > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	total := float64(n*(n-1)) / 2
+	denom := math.Sqrt((total - tieX) * (total - tieY))
+	if denom == 0 {
+		return 0, fmt.Errorf("stats: KendallTau degenerate: all ties")
+	}
+	return (concordant - discordant) / denom, nil
+}
+
+// TrendDirection classifies a Mann-Kendall result.
+type TrendDirection int
+
+// Trend directions.
+const (
+	TrendNone TrendDirection = iota
+	TrendIncreasing
+	TrendDecreasing
+)
+
+// String names the direction.
+func (t TrendDirection) String() string {
+	switch t {
+	case TrendIncreasing:
+		return "increasing"
+	case TrendDecreasing:
+		return "decreasing"
+	default:
+		return "no trend"
+	}
+}
+
+// MKResult is the outcome of the Mann-Kendall trend test.
+type MKResult struct {
+	S float64 // Mann-Kendall S statistic
+	Z float64 // normal-approximation test statistic
+	P float64 // two-sided p-value
+	// Direction at the given significance level.
+	Direction TrendDirection
+	N         int
+}
+
+// MannKendall tests ys (ordered by time) for a monotonic trend using
+// the Mann-Kendall test with tie-corrected variance and the usual
+// continuity correction. alpha is the two-sided significance level
+// (e.g. 0.05).
+func MannKendall(ys []float64, alpha float64) (MKResult, error) {
+	clean := DropNaN(ys)
+	n := len(clean)
+	if n < 3 {
+		return MKResult{}, fmt.Errorf("stats: MannKendall needs ≥3 points, have %d", n)
+	}
+	if !(alpha > 0 && alpha < 1) {
+		return MKResult{}, fmt.Errorf("stats: MannKendall alpha %v outside (0,1)", alpha)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case clean[j] > clean[i]:
+				s++
+			case clean[j] < clean[i]:
+				s--
+			}
+		}
+	}
+	// Tie-corrected variance.
+	variance := float64(n*(n-1)*(2*n+5)) / 18
+	for _, t := range tieGroupSizes(clean) {
+		variance -= float64(t*(t-1)*(2*t+5)) / 18
+	}
+	res := MKResult{S: s, N: n}
+	if variance <= 0 {
+		// All values tied: no trend by definition.
+		res.P = 1
+		return res, nil
+	}
+	sd := math.Sqrt(variance)
+	switch {
+	case s > 0:
+		res.Z = (s - 1) / sd
+	case s < 0:
+		res.Z = (s + 1) / sd
+	}
+	res.P = math.Erfc(math.Abs(res.Z) / math.Sqrt2) // two-sided
+	if res.P <= alpha {
+		if res.Z > 0 {
+			res.Direction = TrendIncreasing
+		} else if res.Z < 0 {
+			res.Direction = TrendDecreasing
+		}
+	}
+	return res, nil
+}
+
+// tieGroupSizes returns the sizes of groups of equal values (size ≥ 2).
+func tieGroupSizes(xs []float64) []int {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var out []int
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		if j-i >= 2 {
+			out = append(out, j-i)
+		}
+		i = j
+	}
+	return out
+}
+
+// SenSlope returns the Theil–Sen estimator: the median of all pairwise
+// slopes of the jointly finite (x,y) pairs — a robust trend slope.
+func SenSlope(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: SenSlope length mismatch %d != %d", len(xs), len(ys))
+	}
+	var fx, fy []float64
+	for i := range xs {
+		if finite(xs[i]) && finite(ys[i]) {
+			fx = append(fx, xs[i])
+			fy = append(fy, ys[i])
+		}
+	}
+	if len(fx) < 2 {
+		return 0, fmt.Errorf("stats: SenSlope needs ≥2 finite pairs, have %d", len(fx))
+	}
+	var slopes []float64
+	for i := 0; i < len(fx); i++ {
+		for j := i + 1; j < len(fx); j++ {
+			if fx[j] == fx[i] {
+				continue
+			}
+			slopes = append(slopes, (fy[j]-fy[i])/(fx[j]-fx[i]))
+		}
+	}
+	if len(slopes) == 0 {
+		return 0, fmt.Errorf("stats: SenSlope degenerate: all x equal")
+	}
+	return Median(slopes), nil
+}

@@ -1,0 +1,72 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// generateDefects builds the 57 runs the parse-consistency stage
+// removes, one corruption per paper-reported reason.
+func (g *generator) generateDefects(opt Options) ([]*model.Run, []model.RejectReason, error) {
+	type defect struct {
+		reason  model.RejectReason
+		count   int
+		corrupt func(*model.Run)
+	}
+	defects := []defect{
+		{model.RejectNotAccepted, opt.Defects.NotAccepted, func(r *model.Run) {
+			r.Accepted = false
+		}},
+		{model.RejectAmbiguousDate, opt.Defects.AmbiguousDate, func(r *model.Run) {
+			r.HWAvail = model.YearMonth{} // renders as "-", parses as zero
+		}},
+		{model.RejectImplausibleDate, opt.Defects.ImplausibleDate, func(r *model.Run) {
+			r.HWAvail = r.TestDate.AddMonths(24) // GA two years after the test
+		}},
+		{model.RejectAmbiguousCPUName, opt.Defects.AmbiguousCPUName, func(r *model.Run) {
+			r.CPUName = r.CPUName + " or " + r.CPUName + "L"
+		}},
+		{model.RejectMissingNodeCount, opt.Defects.MissingNodeCount, func(r *model.Run) {
+			r.Nodes = 0 // the report omits the Nodes line
+		}},
+		{model.RejectInconsistentCoreThread, opt.Defects.InconsistentCoreThrd, func(r *model.Run) {
+			r.TotalCores += r.CoresPerSocket // double-counted one socket
+		}},
+		{model.RejectImplausibleCoreThread, opt.Defects.ImplausibleCoreThrd, func(r *model.Run) {
+			r.ThreadsPerCore = 16 // no x86 server part has 16-way SMT
+			r.TotalThreads = r.TotalCores * 16
+		}},
+	}
+
+	// Defect submissions are spread across the corpus's active years,
+	// alternating vendors like the real review queue.
+	years := []int{2007, 2008, 2009, 2010, 2011, 2012, 2018, 2019, 2020, 2021, 2022, 2023}
+	vendors := []model.CPUVendor{model.VendorIntel, model.VendorIntel, model.VendorAMD}
+
+	var runs []*model.Run
+	var intents []model.RejectReason
+	k := 0
+	for _, d := range defects {
+		for i := 0; i < d.count; i++ {
+			year := years[k%len(years)]
+			vendor := vendors[k%len(vendors)]
+			k++
+			sockets := 1 + k%2
+			r, err := g.buildRun(buildParams{
+				year: year, vendor: vendor, linux: year >= 2018 && k%3 == 0,
+				nodes: 1, sockets: sockets,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("synth: defect base run: %w", err)
+			}
+			d.corrupt(r)
+			if got := model.Classify(r); got != d.reason {
+				return nil, nil, fmt.Errorf("synth: defect %q classified as %q", d.reason, got)
+			}
+			runs = append(runs, r)
+			intents = append(intents, d.reason)
+		}
+	}
+	return runs, intents, nil
+}

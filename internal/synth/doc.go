@@ -1,0 +1,16 @@
+// Package synth generates the synthetic SPECpower_ssj2008 corpus that
+// stands in for the 1017 vendor-submitted result files the paper
+// downloads from spec.org (which are not redistributable and whose
+// production requires physical servers and power analyzers).
+//
+// The generator is calibrated, not arbitrary: a per-year plan fixes the
+// submission counts, vendor and OS shares, and multi-node/big-SMP
+// populations so that the paper's filter funnel comes out exactly
+// (1017 → 960 parsed → 676 comparable, with the per-reason counts of
+// Section II), and the power/performance model of the power and catalog
+// packages makes every trend statistic land near the published value
+// (see EXPERIMENTS.md for paper-vs-measured numbers).
+//
+// Generation is deterministic under a seed. DefaultSeed reproduces the
+// calibration targets asserted by the test suite.
+package synth

@@ -1,0 +1,169 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// sysVendors are the submitting OEMs, weighted roughly like the corpus.
+var sysVendors = []struct {
+	name   string
+	series string
+	weight int
+}{
+	{"Hewlett Packard Enterprise", "ProLiant DL%d Gen%d", 4},
+	{"Dell Inc.", "PowerEdge R%d", 4},
+	{"Lenovo Global Technology", "ThinkSystem SR%d V%d", 3},
+	{"Fujitsu", "PRIMERGY RX%d M%d", 3},
+	{"IBM Corporation", "System x3%d M%d", 2},
+	{"Supermicro", "SuperServer SYS-%d", 1},
+	{"Inspur Corporation", "NF%d M%d", 1},
+}
+
+// systemName invents an OEM and model for a run.
+func systemName(rng *rand.Rand, year int) (vendor, modelName string) {
+	total := 0
+	for _, v := range sysVendors {
+		total += v.weight
+	}
+	pick := rng.Intn(total)
+	for _, v := range sysVendors {
+		pick -= v.weight
+		if pick < 0 {
+			gen := 1 + (year-2005)/3
+			switch v.name {
+			case "Hewlett Packard Enterprise":
+				return v.name, fmt.Sprintf(v.series, 300+20*rng.Intn(4), gen)
+			case "Dell Inc.":
+				return v.name, fmt.Sprintf(v.series, 600+10*rng.Intn(6)+5*(gen%2))
+			case "Lenovo Global Technology":
+				return v.name, fmt.Sprintf(v.series, 630+15*rng.Intn(3), 1+(year-2017+3)/3)
+			case "Fujitsu":
+				return v.name, fmt.Sprintf(v.series, 200+100*rng.Intn(3), gen)
+			case "IBM Corporation":
+				return v.name, fmt.Sprintf(v.series, 550+100*rng.Intn(3), gen)
+			case "Supermicro":
+				return v.name, fmt.Sprintf(v.series, 1000+rng.Intn(9000))
+			default:
+				return v.name, fmt.Sprintf(v.series, 5000+100*rng.Intn(4), gen)
+			}
+		}
+	}
+	return "Generic", "Server"
+}
+
+// windowsName returns an era-appropriate Windows Server edition.
+func windowsName(year int) string {
+	switch {
+	case year < 2008:
+		return "Microsoft Windows Server 2003 Enterprise x64 Edition"
+	case year < 2012:
+		return "Microsoft Windows Server 2008 R2 Enterprise"
+	case year < 2016:
+		return "Microsoft Windows Server 2012 R2 Standard"
+	case year < 2019:
+		return "Microsoft Windows Server 2016 Datacenter"
+	case year < 2022:
+		return "Microsoft Windows Server 2019 Datacenter"
+	default:
+		return "Microsoft Windows Server 2022 Datacenter"
+	}
+}
+
+// linuxName returns an era-appropriate distribution.
+func linuxName(rng *rand.Rand, year int) string {
+	switch {
+	case year < 2012:
+		return "SUSE Linux Enterprise Server 11"
+	case year < 2018:
+		return [...]string{
+			"SUSE Linux Enterprise Server 12 SP1",
+			"Red Hat Enterprise Linux Server 7.2",
+		}[rng.Intn(2)]
+	case year < 2022:
+		return [...]string{
+			"SUSE Linux Enterprise Server 15 SP1",
+			"Red Hat Enterprise Linux 8.2",
+			"Ubuntu 20.04 LTS",
+		}[rng.Intn(3)]
+	default:
+		return [...]string{
+			"SUSE Linux Enterprise Server 15 SP4",
+			"Red Hat Enterprise Linux release 9.0 (Plow)",
+			"Ubuntu 22.04 LTS",
+		}[rng.Intn(3)]
+	}
+}
+
+// otherOSName covers the pre-2018 non-Windows sliver.
+func otherOSName(year int) string {
+	if year < 2012 {
+		return "Sun Solaris 10"
+	}
+	return "IBM AIX 7.1"
+}
+
+// jvmName returns an era-appropriate Java runtime.
+func jvmName(rng *rand.Rand, year int) string {
+	switch {
+	case year < 2010:
+		return "BEA JRockit P27.4 (Java SE 5)"
+	case year < 2015:
+		return [...]string{
+			"Oracle Java HotSpot 64-Bit Server VM (build 1.6)",
+			"IBM J9 VM (build 2.4, Java 6)",
+		}[rng.Intn(2)]
+	case year < 2020:
+		return "Oracle Java HotSpot 64-Bit Server VM (build 1.8)"
+	default:
+		return [...]string{
+			"Oracle Java HotSpot 64-Bit Server VM (Java 11)",
+			"OpenJDK 64-Bit Server VM (build 17)",
+		}[rng.Intn(2)]
+	}
+}
+
+// standardMemSizes are the configured-memory steps (GB).
+var standardMemSizes = []int{
+	4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072,
+}
+
+// roundMemGB snaps a raw memory estimate up to a standard size.
+func roundMemGB(raw float64) int {
+	for _, s := range standardMemSizes {
+		if float64(s) >= raw {
+			return s
+		}
+	}
+	return standardMemSizes[len(standardMemSizes)-1]
+}
+
+// standardPSUSizes are rated PSU outputs (W).
+var standardPSUSizes = []int{450, 550, 650, 750, 800, 1100, 1400, 1600, 2000, 2600, 3000}
+
+// roundPSU snaps a power estimate (with headroom) up to a standard PSU.
+func roundPSU(fullWatts float64) int {
+	need := fullWatts * 1.35
+	for _, s := range standardPSUSizes {
+		if float64(s) >= need {
+			return s
+		}
+	}
+	return standardPSUSizes[len(standardPSUSizes)-1]
+}
+
+// memPerCoreGB is the era-typical configured memory per core.
+func memPerCoreGB(year int) float64 {
+	switch {
+	case year < 2010:
+		return 2
+	case year < 2017:
+		return 3
+	default:
+		return 2 // core counts exploded; GB/core fell back
+	}
+}
+
+// maxMemGB caps configured memory: vendors stop scaling memory linearly
+// on very high core-count parts.
+const maxMemGB = 768
