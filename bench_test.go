@@ -30,24 +30,18 @@ import (
 	"repro/internal/synth"
 )
 
-// The corpus is generated once and shared by every benchmark.
-var (
-	corpusOnce sync.Once
-	corpusRuns []*model.Run
-	corpusDS   *analysis.Dataset
-)
+// The corpus is generated once and shared by every benchmark: one
+// engine over the default synthetic source, its dataset memoized after
+// the first use.
+var corpusEngine = core.New()
 
 func dataset(b *testing.B) *analysis.Dataset {
 	b.Helper()
-	corpusOnce.Do(func() {
-		runs, err := synth.Generate(synth.DefaultOptions())
-		if err != nil {
-			panic(err)
-		}
-		corpusRuns = runs
-		corpusDS = analysis.BuildDataset(runs)
-	})
-	return corpusDS
+	ds, err := corpusEngine.Dataset()
+	if err != nil {
+		panic(err)
+	}
+	return ds
 }
 
 // printOnce emits the paper-table output a single time per benchmark.
@@ -66,7 +60,7 @@ func BenchmarkFilterFunnel(b *testing.B) {
 	printOnce("funnel", "\n[S1] "+ds.Funnel.String())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.BuildDataset(corpusRuns)
+		_ = analysis.BuildDataset(ds.Raw)
 	}
 }
 
@@ -418,6 +412,35 @@ func BenchmarkCorpusParallelism(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStreamingIngest (D6): corpus-directory ingestion through the
+// streaming DirSource → DatasetBuilder pipeline (classification overlaps
+// parsing, bounded memory) vs materializing every run before
+// classifying.
+func BenchmarkStreamingIngest(b *testing.B) {
+	ds := dataset(b)
+	dir := b.TempDir()
+	if err := core.WriteCorpus(dir, ds.Raw[:256], 0); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := core.New(core.WithSource(core.DirSource{Dir: dir}))
+			if _, err := eng.Dataset(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runs, err := core.LoadRuns(dir, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = analysis.BuildDataset(runs)
+		}
+	})
 }
 
 // BenchmarkCorpusGeneration measures full 1017-run corpus synthesis.

@@ -1,21 +1,26 @@
-// Command specanalyze runs the paper's full longitudinal study and
-// prints every figure and statistic as a terminal report.
+// Command specanalyze runs the paper's longitudinal study and prints
+// figures and statistics as a terminal report or JSON.
 //
 // With -in it analyses a parsed corpus directory (e.g. produced by
-// specgen); without it, it generates the default calibrated corpus in
-// memory.
+// specgen), streamed through the core.DirSource worker pool; without
+// it, it generates the default calibrated corpus in memory. -only
+// selects individual analyses by registry name (see -list); -json
+// switches to machine-readable output.
 //
 // Usage:
 //
-//	specanalyze [-in corpus/] [-seed 14]
+//	specanalyze [-in corpus/] [-seed 14] [-only fig3,funnel] [-json] [-list]
 package main
 
 import (
 	"bufio"
 	"flag"
+	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/synth"
 )
@@ -26,27 +31,56 @@ func main() {
 	in := flag.String("in", "", "corpus directory (empty = generate in memory)")
 	seed := flag.Int64("seed", synth.DefaultSeed, "seed when generating in memory")
 	workers := flag.Int("workers", 0, "parallel parsers (0 = GOMAXPROCS)")
+	only := flag.String("only", "", "comma-separated analysis names to run (empty = full report)")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of text")
+	list := flag.Bool("list", false, "list registered analyses and exit")
 	flag.Parse()
 
-	var study *core.Study
-	var err error
-	if *in != "" {
-		study, err = core.LoadStudy(*in, *workers)
-	} else {
-		opt := synth.DefaultOptions()
-		opt.Seed = *seed
-		var runs, genErr = core.GenerateCorpus(opt)
-		if genErr != nil {
-			log.Fatal(genErr)
+	if *list {
+		for _, name := range analysis.Names() {
+			reg, _ := analysis.Lookup(name)
+			fmt.Printf("%-12s %s\n", name, reg.Description)
 		}
-		study = core.NewStudy(runs)
+		return
 	}
-	if err != nil {
-		log.Fatal(err)
+
+	opts := []core.Option{core.WithWorkers(*workers)}
+	if *in != "" {
+		opts = append(opts, core.WithSource(core.DirSource{Dir: *in}))
+	} else {
+		opts = append(opts, core.WithSeed(*seed))
 	}
+	eng := core.New(opts...)
+
+	var names []string
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+	}
+
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	if err := study.WriteReport(w); err != nil {
-		log.Fatal(err)
+	switch {
+	case *asJSON:
+		if err := eng.WriteJSON(w, names...); err != nil {
+			log.Fatal(err)
+		}
+	case len(names) > 0:
+		results, err := eng.Run(names...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, res := range results {
+			if err := core.WriteAnalysisText(w, res); err != nil {
+				log.Fatal(err)
+			}
+		}
+	default:
+		if err := eng.WriteReport(w); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

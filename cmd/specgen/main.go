@@ -25,9 +25,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel writers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	opt := synth.DefaultOptions()
-	opt.Seed = *seed
-	runs, err := core.GenerateCorpus(opt)
+	eng := core.New(core.WithSeed(*seed))
+	runs, err := eng.Runs()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 // Command speclint validates SPECpower_ssj2008 result files the way the
 // paper's ingestion pipeline does: each file is parsed and classified,
 // and the verdict (accepted for analysis, or the first failing check)
-// is reported per file, with a funnel summary at the end.
+// is reported per file, with the paper's filter-funnel accounting as
+// the summary. Classification goes through the same incremental
+// analysis.DatasetBuilder that core.Engine uses for streaming ingest.
 //
 // Usage:
 //
@@ -18,6 +20,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/model"
 	"repro/internal/parser"
 )
@@ -46,45 +49,34 @@ func main() {
 	}
 	sort.Strings(paths)
 
-	counts := map[string]int{}
+	builder := analysis.NewDatasetBuilder()
 	unparseable := 0
 	for _, path := range paths {
-		verdict := lint(path)
-		counts[verdict]++
-		if verdict == "unparseable" {
+		verdict := "ok (comparable)"
+		run, err := parse(path)
+		if err != nil {
+			verdict = "unparseable"
 			unparseable++
+		} else if rr := builder.Add(run); rr != model.RejectNone {
+			verdict = rr.String()
 		}
 		if !*quiet {
 			fmt.Printf("%-52s %s\n", filepath.Base(path), verdict)
 		}
 	}
 
-	fmt.Printf("\n%d files\n", len(paths))
-	keys := make([]string, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Printf("  %-46s %4d\n", k, counts[k])
-	}
+	fmt.Printf("\n%d files (%d unparseable)\n", len(paths), unparseable)
+	fmt.Print(builder.Funnel().String())
 	if unparseable > 0 {
 		os.Exit(1)
 	}
 }
 
-func lint(path string) string {
+func parse(path string) (*model.Run, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return "unparseable"
+		return nil, err
 	}
 	defer f.Close()
-	run, err := parser.Parse(f)
-	if err != nil {
-		return "unparseable"
-	}
-	if rr := model.Classify(run); rr != model.RejectNone {
-		return rr.String()
-	}
-	return "ok (comparable)"
+	return parser.Parse(f)
 }

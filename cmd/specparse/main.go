@@ -29,20 +29,23 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel parsers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	study, err := core.LoadStudy(*in, *workers)
+	eng := core.New(
+		core.WithSource(core.DirSource{Dir: *in}),
+		core.WithWorkers(*workers))
+	ds, err := eng.Dataset()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprint(os.Stderr, study.Dataset.Funnel.String())
+	fmt.Fprint(os.Stderr, ds.Funnel.String())
 
 	var runs []*model.Run
 	switch *stage {
 	case "raw":
-		runs = study.Dataset.Raw
+		runs = ds.Raw
 	case "parsed":
-		runs = study.Dataset.Parsed
+		runs = ds.Parsed
 	case "comparable":
-		runs = study.Dataset.Comparable
+		runs = ds.Comparable
 	default:
 		log.Fatalf("unknown stage %q (want raw, parsed, or comparable)", *stage)
 	}

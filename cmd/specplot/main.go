@@ -27,26 +27,24 @@ func main() {
 	seed := flag.Int64("seed", synth.DefaultSeed, "seed when generating in memory")
 	flag.Parse()
 
-	var study *core.Study
+	opts := []core.Option{core.WithSeed(*seed)}
 	if *in != "" {
-		var err error
-		study, err = core.LoadStudy(*in, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		opt := synth.DefaultOptions()
-		opt.Seed = *seed
-		runs, err := core.GenerateCorpus(opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		study = core.NewStudy(runs)
+		opts = []core.Option{core.WithSource(core.DirSource{Dir: *in})}
 	}
+	eng := core.New(opts...)
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	ds := study.Dataset
+
+	// Figures come out of the engine's named registry; each is computed
+	// lazily and memoized.
+	figure := func(name string) analysis.TrendFigure {
+		fig, err := core.AnalysisAs[analysis.TrendFigure](eng, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fig
+	}
 
 	write := func(name, svg string) {
 		path := filepath.Join(*out, name)
@@ -82,7 +80,10 @@ func main() {
 	}
 
 	// Figure 1: run counts per year as bars (one SVG).
-	rows := analysis.Fig1Shares(ds.Parsed)
+	rows, err := core.AnalysisAs[[]analysis.Fig1Row](eng, "fig1")
+	if err != nil {
+		log.Fatal(err)
+	}
 	var f1Labels []string
 	var f1Counts, f1Linux, f1AMD []float64
 	for _, r := range rows {
@@ -111,16 +112,19 @@ func main() {
 		plot.Axes{Title: "Figure 1: OS share per year", Width: 80, Height: 50}))
 
 	write("fig2_power_per_socket.svg",
-		scatterSVG(analysis.Fig2PowerPerSocket(ds.Comparable), "Power per Socket (W)", plot.Axes{}))
+		scatterSVG(figure("fig2"), "Power per Socket (W)", plot.Axes{}))
 	write("fig3_overall_efficiency.svg",
-		scatterSVG(analysis.Fig3OverallEfficiency(ds.Comparable), "Overall ssj_ops/W", plot.Axes{}))
+		scatterSVG(figure("fig3"), "Overall ssj_ops/W", plot.Axes{}))
 	write("fig5_idle_fraction.svg",
-		scatterSVG(analysis.Fig5IdleFraction(ds.Comparable), "Idle Power / Full Load Power", plot.Axes{}))
+		scatterSVG(figure("fig5"), "Idle Power / Full Load Power", plot.Axes{}))
 	write("fig6_idle_quotient.svg",
-		scatterSVG(analysis.Fig6IdleQuotient(ds.Comparable), "Extrapolated Idle Quotient", plot.Axes{YMin: 0.8, YMax: 3}))
+		scatterSVG(figure("fig6"), "Extrapolated Idle Quotient", plot.Axes{YMin: 0.8, YMax: 3}))
 
 	// Figure 4: one box-grid SVG per vendor at 70 % load.
-	cells := analysis.Fig4RelativeEfficiency(ds.Comparable)
+	cells, err := core.AnalysisAs[[]analysis.Fig4Cell](eng, "fig4")
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, vendor := range []string{"AMD", "Intel"} {
 		var labels []string
 		var boxes []stats.BoxStats

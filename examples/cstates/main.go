@@ -16,7 +16,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/power"
-	"repro/internal/synth"
 )
 
 func main() {
@@ -32,17 +31,17 @@ func main() {
 			100*cs.ResidencyPkgC, 100*cs.IdleFrac())
 	}
 
-	runs, err := core.GenerateCorpus(synth.DefaultOptions())
+	eng := core.New()
+	ds, err := eng.Dataset()
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds := core.NewStudy(runs).Dataset
 
 	fmt.Println("\nCorpus idle-fraction history and its changepoint:")
 	for _, ys := range analysis.YearlyMeans(ds.Comparable, (*model.Run).IdleFraction) {
 		fmt.Printf("  %d  %5.1f %%  (n=%d)\n", ys.Year, 100*ys.Mean, ys.N)
 	}
-	cf, err := analysis.IdleFractionChangepoint(ds.Comparable, 5, 0.05)
+	cf, err := core.AnalysisAs[analysis.ChangepointFinding](eng, "changepoint")
 	if err != nil {
 		log.Fatal(err)
 	}

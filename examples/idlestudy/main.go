@@ -15,16 +15,14 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/model"
-	"repro/internal/synth"
 )
 
 func main() {
 	log.SetFlags(0)
-	runs, err := core.GenerateCorpus(synth.DefaultOptions())
+	ds, err := core.New().Dataset()
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds := core.NewStudy(runs).Dataset
 
 	fmt.Println("Idle fraction and extrapolated idle quotient by year:")
 	fmt.Printf("%-6s %4s  %-22s %-22s\n", "year", "n", "idle/full (mean)", "quotient (mean)")

@@ -15,7 +15,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/power"
-	"repro/internal/synth"
 )
 
 func main() {
@@ -44,12 +43,11 @@ func main() {
 	show("2023 AMD (near-prop.)", model.VendorAMD, 2023)
 
 	// Corpus-level view: Figure 4's distributions.
-	runs, err := core.GenerateCorpus(synth.DefaultOptions())
+	eng := core.New()
+	cells, err := core.AnalysisAs[[]analysis.Fig4Cell](eng, "fig4")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds := core.NewStudy(runs).Dataset
-	cells := analysis.Fig4RelativeEfficiency(ds.Comparable)
 
 	fmt.Println("\nMedian relative efficiency at 70 % load, by vendor and year:")
 	fmt.Printf("%-6s %10s %10s\n", "year", "AMD", "Intel")

@@ -54,35 +54,11 @@ type Dataset struct {
 }
 
 // BuildDataset classifies every run and splits the corpus into the
-// pipeline stages.
+// pipeline stages. It is the batch form of DatasetBuilder.
 func BuildDataset(runs []*model.Run) *Dataset {
-	ds := &Dataset{Raw: runs}
-	parseCounts := map[model.RejectReason]int{}
-	compCounts := map[model.RejectReason]int{}
+	b := NewDatasetBuilder()
 	for _, r := range runs {
-		if rr := model.CheckParseConsistency(r); rr != model.RejectNone {
-			parseCounts[rr]++
-			continue
-		}
-		ds.Parsed = append(ds.Parsed, r)
-		if rr := model.CheckComparability(r); rr != model.RejectNone {
-			compCounts[rr]++
-			continue
-		}
-		ds.Comparable = append(ds.Comparable, r)
+		b.Add(r)
 	}
-	ds.Funnel = Funnel{
-		Raw:        len(runs),
-		Parsed:     len(ds.Parsed),
-		Comparable: len(ds.Comparable),
-	}
-	for _, rr := range model.ParseReasons() {
-		ds.Funnel.ParseStage = append(ds.Funnel.ParseStage,
-			ReasonCount{Reason: rr, Count: parseCounts[rr]})
-	}
-	for _, rr := range model.ComparabilityReasons() {
-		ds.Funnel.ComparabilityStage = append(ds.Funnel.ComparabilityStage,
-			ReasonCount{Reason: rr, Count: compCounts[rr]})
-	}
-	return ds
+	return b.Dataset()
 }

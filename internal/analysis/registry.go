@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Func is a named analysis: a derived computation over a classified
+// Dataset. Results are plain structs (TrendFigure, Funnel, …) that the
+// caller renders as text, SVG, or JSON.
+type Func func(*Dataset) (any, error)
+
+// Registration describes one entry of the analysis registry.
+type Registration struct {
+	Name        string
+	Description string
+	Func        Func
+
+	// Static marks an analysis that does not read the corpus; engines
+	// skip ingestion entirely when computing it and pass Func a nil
+	// Dataset.
+	Static bool
+}
+
+var registry = struct {
+	sync.RWMutex
+	byName map[string]Registration
+	order  []string
+}{byName: map[string]Registration{}}
+
+// Register adds a named analysis to the global registry. Engines look
+// analyses up by name (core.Engine.Run("fig3", …)) and memoize their
+// results per engine. Register panics on a duplicate name: names are
+// package-level API and collisions are programming errors, caught at
+// init time.
+func Register(name, description string, fn Func) {
+	register(Registration{Name: name, Description: description, Func: fn})
+}
+
+// RegisterStatic adds a named analysis that does not depend on the
+// corpus (like the catalog-driven table1): engines compute it without
+// ingesting their source at all.
+func RegisterStatic(name, description string, fn func() (any, error)) {
+	register(Registration{
+		Name:        name,
+		Description: description,
+		Func:        func(*Dataset) (any, error) { return fn() },
+		Static:      true,
+	})
+}
+
+func register(reg Registration) {
+	if reg.Name == "" || reg.Func == nil {
+		panic("analysis: Register requires a name and a func")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[reg.Name]; dup {
+		panic(fmt.Sprintf("analysis: duplicate registration of %q", reg.Name))
+	}
+	registry.byName[reg.Name] = reg
+	registry.order = append(registry.order, reg.Name)
+}
+
+// Lookup finds a registered analysis by name.
+func Lookup(name string) (Registration, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	reg, ok := registry.byName[name]
+	return reg, ok
+}
+
+// Names lists every registered analysis in registration order, which
+// follows the paper's presentation (funnel, figures, in-text
+// statistics, extended analyses).
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return append([]string(nil), registry.order...)
+}
+
+// SortedNames lists every registered analysis alphabetically, for error
+// messages and documentation.
+func SortedNames() []string {
+	names := Names()
+	sort.Strings(names)
+	return names
+}
+
+// The paper's analyses, by name. Parameters (top-100, since-2021,
+// minimum bin sizes, α levels) are pinned to the paper's choices so a
+// name always means the same computation.
+func init() {
+	Register("funnel", "Section II filter funnel (1017 → 960 → 676)",
+		func(ds *Dataset) (any, error) { return ds.Funnel, nil })
+	Register("fig1", "Figure 1: corpus composition by year (OS, vendor, sockets, nodes)",
+		func(ds *Dataset) (any, error) { return Fig1Shares(ds.Parsed), nil })
+	Register("fig2", "Figure 2: power per socket at full load (W)",
+		func(ds *Dataset) (any, error) { return Fig2PowerPerSocket(ds.Comparable), nil })
+	Register("fig3", "Figure 3: overall efficiency (ssj_ops/W)",
+		func(ds *Dataset) (any, error) { return Fig3OverallEfficiency(ds.Comparable), nil })
+	Register("fig4", "Figure 4: relative efficiency at 60-90% load by vendor and year",
+		func(ds *Dataset) (any, error) { return Fig4RelativeEfficiency(ds.Comparable), nil })
+	Register("fig5", "Figure 5: idle power / full load power",
+		func(ds *Dataset) (any, error) { return Fig5IdleFraction(ds.Comparable), nil })
+	Register("fig6", "Figure 6: extrapolated idle quotient",
+		func(ds *Dataset) (any, error) { return Fig6IdleQuotient(ds.Comparable), nil })
+	Register("submissions", "S2: submission rates and OS/vendor share shifts",
+		func(ds *Dataset) (any, error) { return SubmissionTrends(ds.Parsed), nil })
+	Register("growth", "S3: full-load power growth, early vs late era",
+		func(ds *Dataset) (any, error) { return PowerGrowth(ds.Comparable), nil })
+	Register("top100", "S4: vendor composition of the 100 most efficient runs",
+		func(ds *Dataset) (any, error) { return TopEfficient(ds.Comparable, 100), nil })
+	Register("idlehistory", "S5: idle-fraction history (first / minimum / last year)",
+		func(ds *Dataset) (any, error) { return IdleFractionHistory(ds.Comparable, 5), nil })
+	Register("features", "S6: per-vendor feature comparison since 2021",
+		func(ds *Dataset) (any, error) { return RecentFeatures(ds.Comparable, 2021), nil })
+	Register("trends", "Mann-Kendall + Theil-Sen trend tests behind the conclusions",
+		func(ds *Dataset) (any, error) { return PaperTrends(ds.Comparable, 0.10) })
+	Register("ep", "energy proportionality score by year",
+		func(ds *Dataset) (any, error) { return EPByYear(ds.Comparable), nil })
+	Register("confound", "pooled vs within-vendor correlations since 2021",
+		func(ds *Dataset) (any, error) { return ConfoundingScan(ds.Comparable, 2021), nil })
+	Register("changepoint", "Pettitt changepoint of the idle-fraction history",
+		func(ds *Dataset) (any, error) { return IdleFractionChangepoint(ds.Comparable, 5, 0.05) })
+}

@@ -1,19 +1,28 @@
-// Package core is the public façade of the specpower-trends library: it
+// Package core is the public façade of the specpower-trends library. It
 // ties the synthetic corpus generator, the result-file writer/parser,
-// and the longitudinal analyses into one Study type that the command
-// line tools, examples and benchmarks drive.
+// and the longitudinal analyses together behind one streaming Engine:
+// a pluggable corpus Source feeds the classification funnel
+// incrementally, and every named analysis from the registry is computed
+// lazily, at most once per engine.
 //
 // Typical use:
 //
-//	runs, _ := core.GenerateCorpus(synth.DefaultOptions())
-//	study := core.NewStudy(runs)
-//	fmt.Println(study.Dataset.Funnel)
-//	fig3 := analysis.Fig3OverallEfficiency(study.Dataset.Comparable)
+//	eng := core.New()                       // default synthetic corpus
+//	ds, _ := eng.Dataset()                  // 1017 → 960 → 676 funnel
+//	fig3, _ := core.AnalysisAs[analysis.TrendFigure](eng, "fig3")
 //
-// or, going through the full closed loop (render → parse → analyse):
+// or, over a corpus directory, selecting analyses by name:
 //
-//	core.WriteCorpus(dir, runs, 0)
-//	study, _ := core.LoadStudy(dir, 0)
+//	eng := core.New(core.WithSource(core.DirSource{Dir: dir}),
+//		core.WithWorkers(8))
+//	results, _ := eng.Run("fig3", "funnel") // lazy, memoized
+//	_ = eng.WriteJSON(os.Stdout, "trends")  // machine-readable output
+//
+// DirSource streams: result files are parsed by a bounded worker pool
+// and classified as they arrive, so corpora far larger than the
+// paper's 1017 runs never need to fit in memory at once. The eager
+// Study type and its constructors remain as deprecated shims over the
+// Engine.
 package core
 
 import (
@@ -23,26 +32,64 @@ import (
 )
 
 // Study wraps a classified dataset and memoizes derived analyses.
+//
+// Deprecated: build an Engine instead (core.New with a Source); Study
+// remains as a thin shim over it.
 type Study struct {
 	// Dataset holds the corpus split into pipeline stages.
 	Dataset *analysis.Dataset
+
+	eng *Engine
+}
+
+// engine returns the Engine behind the shim. Old code paths only ever
+// construct studies through it, but a hand-built Study{Dataset: ds} —
+// or even a zero Study, which gets an empty corpus — still works.
+func (s *Study) engine() *Engine {
+	if s.eng == nil {
+		var runs []*model.Run
+		if s.Dataset != nil {
+			runs = s.Dataset.Raw
+		}
+		s.eng = New(WithSource(SliceSource(runs)))
+	}
+	return s.eng
+}
+
+// studyOf wraps an engine as the deprecated façade.
+func studyOf(eng *Engine) (*Study, error) {
+	ds, err := eng.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	return &Study{Dataset: ds, eng: eng}, nil
 }
 
 // NewStudy classifies runs and builds a study.
+//
+// Deprecated: use core.New(core.WithSource(core.SliceSource(runs))).
 func NewStudy(runs []*model.Run) *Study {
-	return &Study{Dataset: analysis.BuildDataset(runs)}
+	s, _ := studyOf(New(WithSource(SliceSource(runs)))) // slice sources cannot fail
+	return s
+}
+
+// LoadStudy parses a corpus directory and classifies it.
+//
+// Deprecated: use core.New(core.WithSource(core.DirSource{Dir: dir}),
+// core.WithWorkers(workers)).
+func LoadStudy(dir string, workers int) (*Study, error) {
+	return studyOf(New(WithSource(DirSource{Dir: dir}), WithWorkers(workers)))
+}
+
+// DefaultStudy generates the default corpus and builds its study.
+//
+// Deprecated: use core.New(); the zero-option engine studies the same
+// corpus lazily.
+func DefaultStudy() (*Study, error) {
+	return studyOf(New())
 }
 
 // GenerateCorpus produces the paper-calibrated synthetic corpus.
 func GenerateCorpus(opt synth.Options) ([]*model.Run, error) {
 	return synth.Generate(opt)
-}
-
-// DefaultStudy generates the default corpus and builds its study.
-func DefaultStudy() (*Study, error) {
-	runs, err := GenerateCorpus(synth.DefaultOptions())
-	if err != nil {
-		return nil, err
-	}
-	return NewStudy(runs), nil
 }

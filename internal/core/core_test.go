@@ -3,12 +3,14 @@ package core
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/synth"
 )
 
@@ -39,24 +41,28 @@ func TestGenerateWriteLoadRoundTrip(t *testing.T) {
 	if len(files) != len(runs) {
 		t.Fatalf("wrote %d files for %d runs", len(files), len(runs))
 	}
-	study, err := LoadStudy(dir, 4)
+	loaded := New(WithSource(DirSource{Dir: dir}), WithWorkers(4))
+	loadedDS, err := loaded.Dataset()
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The funnel must be identical whether built from in-memory runs or
 	// from the rendered-and-reparsed corpus (the D1 closed loop).
-	direct := NewStudy(runs)
-	if a, b := funnelKey(direct), funnelKey(study); a != b {
+	direct, err := New(WithSource(SliceSource(runs))).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := funnelKey(direct), funnelKey(loadedDS); a != b {
 		t.Errorf("funnel changed across render/parse: %v vs %v", a, b)
 	}
-	if len(study.Dataset.Raw) != len(runs) {
-		t.Errorf("raw count %d vs %d", len(study.Dataset.Raw), len(runs))
+	if len(loadedDS.Raw) != len(runs) {
+		t.Errorf("raw count %d vs %d", len(loadedDS.Raw), len(runs))
 	}
 }
 
 // funnelKey flattens a funnel for comparison.
-func funnelKey(s *Study) [3]int {
-	f := s.Dataset.Funnel
+func funnelKey(ds *analysis.Dataset) [3]int {
+	f := ds.Funnel
 	return [3]int{f.Raw, f.Parsed, f.Comparable}
 }
 
@@ -128,6 +134,33 @@ func TestForEachParallel(t *testing.T) {
 	// Degenerate sizes.
 	if err := forEachParallel(0, 4, func(int) error { return wantErr }); err != nil {
 		t.Error("n=0 should be a no-op")
+	}
+}
+
+// TestForEachParallelDeterministicError: when several indexes fail, the
+// returned error must always be the lowest index's — not whichever
+// worker reported first. The failing indexes are spread so that under
+// racy first-error-wins semantics a later index usually won.
+func TestForEachParallelDeterministicError(t *testing.T) {
+	errAt := func(i int) error { return fmt.Errorf("fail@%d", i) }
+	for round := 0; round < 50; round++ {
+		err := forEachParallel(64, 8, func(i int) error {
+			switch {
+			case i == 7:
+				// The lowest failure does a little work first, giving
+				// higher failing indexes a head start.
+				for j := 0; j < 1000; j++ {
+					_ = j * j
+				}
+				return errAt(i)
+			case i == 23 || i == 40 || i == 63:
+				return errAt(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@7" {
+			t.Fatalf("round %d: err = %v, want fail@7", round, err)
+		}
 	}
 }
 

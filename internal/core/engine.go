@@ -1,0 +1,224 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/model"
+	"repro/internal/speccpu"
+	"repro/internal/synth"
+)
+
+// Engine is the library's entry point: a corpus source plus a cache of
+// derived analyses. Construction is cheap — nothing is generated,
+// parsed, or classified until the first Dataset, Analysis, Run, or
+// WriteReport call, and every analysis is computed at most once per
+// engine.
+//
+//	eng := core.New(core.WithSource(core.DirSource{Dir: "corpus"}),
+//		core.WithWorkers(8))
+//	fig3, err := core.AnalysisAs[analysis.TrendFigure](eng, "fig3")
+type Engine struct {
+	src     Source
+	workers int
+
+	dsOnce sync.Once
+	ds     *analysis.Dataset
+	dsErr  error
+
+	mu    sync.Mutex
+	memos map[string]*memo
+}
+
+// memo is one lazily computed analysis result.
+type memo struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithSource sets the corpus source (default: the paper-calibrated
+// synthetic corpus).
+func WithSource(s Source) Option {
+	return func(e *Engine) { e.src = s }
+}
+
+// WithWorkers bounds the parallelism of streaming sources
+// (0 = GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithSeed selects the synthetic corpus with the given generation seed;
+// shorthand for WithSource(SynthSource{…}) when only the seed varies.
+func WithSeed(seed int64) Option {
+	return func(e *Engine) {
+		opt := synth.DefaultOptions()
+		opt.Seed = seed
+		e.src = SynthSource{Options: opt}
+	}
+}
+
+// New builds an Engine. With no options it studies the default
+// synthetic corpus, the in-memory equivalent of the paper's 1017
+// downloaded result files.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		src:   SynthSource{Options: synth.DefaultOptions()},
+		memos: map[string]*memo{},
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Dataset streams the source through the classification funnel once and
+// memoizes the result. Runs are classified as they arrive (via
+// analysis.DatasetBuilder), so for streaming sources ingestion overlaps
+// with parsing.
+func (e *Engine) Dataset() (*analysis.Dataset, error) {
+	e.dsOnce.Do(func() {
+		b := analysis.NewDatasetBuilder()
+		err := e.src.Each(e.workers, func(r *model.Run) error {
+			b.Add(r)
+			return nil
+		})
+		if err != nil {
+			e.dsErr = fmt.Errorf("core: source %s: %w", e.src.Name(), err)
+			return
+		}
+		e.ds = b.Dataset()
+	})
+	return e.ds, e.dsErr
+}
+
+// Runs returns the raw corpus (every run the source delivered).
+func (e *Engine) Runs() ([]*model.Run, error) {
+	ds, err := e.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	return ds.Raw, nil
+}
+
+// UnknownAnalysisError is returned when a requested analysis name is
+// not registered; it lists what is.
+type UnknownAnalysisError struct {
+	Name      string
+	Available []string
+}
+
+func (e *UnknownAnalysisError) Error() string {
+	return fmt.Sprintf("core: unknown analysis %q (available: %s)",
+		e.Name, strings.Join(e.Available, ", "))
+}
+
+// Analysis computes one named analysis from the registry, memoized per
+// engine: the first call pays for the computation (and, transitively,
+// for corpus ingestion), every later call returns the cached result.
+func (e *Engine) Analysis(name string) (any, error) {
+	reg, ok := analysis.Lookup(name)
+	if !ok {
+		return nil, &UnknownAnalysisError{Name: name, Available: analysis.SortedNames()}
+	}
+	e.mu.Lock()
+	m := e.memos[name]
+	if m == nil {
+		m = &memo{}
+		e.memos[name] = m
+	}
+	e.mu.Unlock()
+	m.once.Do(func() {
+		var ds *analysis.Dataset
+		if !reg.Static {
+			var err error
+			if ds, err = e.Dataset(); err != nil {
+				m.err = err
+				return
+			}
+		}
+		m.val, m.err = reg.Func(ds)
+	})
+	return m.val, m.err
+}
+
+// AnalysisAs runs a named analysis and asserts its result type.
+func AnalysisAs[T any](e *Engine, name string) (T, error) {
+	var zero T
+	v, err := e.Analysis(name)
+	if err != nil {
+		return zero, err
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("core: analysis %q is %T, not %T", name, v, zero)
+	}
+	return t, nil
+}
+
+// Result is one named analysis outcome, as selected by Run.
+type Result struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Value       any    `json:"value"`
+}
+
+// Run computes the named analyses (all registered ones when names is
+// empty, in registration order) and returns them in request order.
+// Results are memoized: re-running a name is free.
+func (e *Engine) Run(names ...string) ([]Result, error) {
+	if len(names) == 0 {
+		names = analysis.Names()
+	}
+	out := make([]Result, 0, len(names))
+	for _, name := range names {
+		v, err := e.Analysis(name)
+		if err != nil {
+			return nil, err
+		}
+		reg, _ := analysis.Lookup(name)
+		out = append(out, Result{Name: name, Description: reg.Description, Value: v})
+	}
+	return out, nil
+}
+
+// WriteJSON runs the named analyses (empty = all) and writes them as an
+// indented JSON array of {name, description, value} objects — the
+// machine-readable sibling of WriteReport.
+func (e *Engine) WriteJSON(w io.Writer, names ...string) error {
+	results, err := e.Run(names...)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return fmt.Errorf("core: encode analyses: %w", err)
+	}
+	return nil
+}
+
+// table1 is registered here rather than in the analysis package: it
+// compares two catalog systems under SPEC CPU 2017 and SPEC Power
+// models and does not depend on the corpus, so it lives with the layer
+// that knows about speccpu. It also demonstrates that the registry is
+// open to callers outside the analysis package.
+func init() {
+	analysis.RegisterStatic("table1",
+		"Table I: SR650 V3 (Intel) vs SR645 V3 (AMD) across SPEC benchmarks",
+		func() (any, error) {
+			intelSys, amdSys, err := speccpu.DefaultDuel()
+			if err != nil {
+				return nil, err
+			}
+			return speccpu.Table1(intelSys, amdSys)
+		})
+}

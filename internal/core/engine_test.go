@@ -1,0 +1,269 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/model"
+	"repro/internal/synth"
+)
+
+// smallEngine builds an engine over the small test corpus.
+func smallEngine(t *testing.T) *Engine {
+	t.Helper()
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(WithSource(SliceSource(runs)))
+}
+
+func TestEngineRunSelectsByName(t *testing.T) {
+	eng := smallEngine(t)
+	results, err := eng.Run("fig3", "funnel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Name != "fig3" || results[1].Name != "funnel" {
+		t.Fatalf("results = %+v, want fig3 then funnel", results)
+	}
+	if _, ok := results[0].Value.(analysis.TrendFigure); !ok {
+		t.Errorf("fig3 value is %T", results[0].Value)
+	}
+	f, ok := results[1].Value.(analysis.Funnel)
+	if !ok {
+		t.Fatalf("funnel value is %T", results[1].Value)
+	}
+	if f.Raw == 0 || f.Raw != f.Parsed+countStage(f.ParseStage) {
+		t.Errorf("funnel inconsistent: raw %d, parsed %d + %d rejects",
+			f.Raw, f.Parsed, countStage(f.ParseStage))
+	}
+}
+
+func countStage(rcs []analysis.ReasonCount) int {
+	n := 0
+	for _, rc := range rcs {
+		n += rc.Count
+	}
+	return n
+}
+
+func TestEngineRunAllNames(t *testing.T) {
+	// The trend and changepoint analyses need several yearly bins, so
+	// this test uses a corpus spanning more years than smallOptions.
+	opt := smallOptions()
+	opt.Plan = []synth.YearPlan{
+		{Year: 2008, Parsed: 10, AMDShare: 0.25, LinuxShare: 0.02, TwoSocketShare: 0.7},
+		{Year: 2012, Parsed: 10, AMDShare: 0.20, LinuxShare: 0.05, TwoSocketShare: 0.7},
+		{Year: 2016, Parsed: 10, AMDShare: 0.10, LinuxShare: 0.10, TwoSocketShare: 0.7},
+		{Year: 2018, Parsed: 10, AMDShare: 0.20, LinuxShare: 0.20, TwoSocketShare: 0.7},
+		{Year: 2020, Parsed: 10, AMDShare: 0.30, LinuxShare: 0.30, TwoSocketShare: 0.7},
+		{Year: 2023, Parsed: 10, AMDShare: 0.35, LinuxShare: 0.40, TwoSocketShare: 0.7},
+	}
+	runs, err := GenerateCorpus(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(WithSource(SliceSource(runs)))
+	results, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 16 {
+		t.Fatalf("only %d analyses registered", len(results))
+	}
+	seen := map[string]bool{}
+	for _, res := range results {
+		seen[res.Name] = true
+	}
+	for _, want := range []string{"funnel", "fig1", "fig2", "fig3", "fig4", "fig5",
+		"fig6", "submissions", "growth", "top100", "idlehistory", "features",
+		"trends", "ep", "confound", "changepoint", "table1"} {
+		if !seen[want] {
+			t.Errorf("Run() missing %q", want)
+		}
+	}
+}
+
+func TestEngineUnknownAnalysis(t *testing.T) {
+	eng := smallEngine(t)
+	_, err := eng.Run("fig3", "nope")
+	if err == nil {
+		t.Fatal("unknown name should error")
+	}
+	var unknown *UnknownAnalysisError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("err = %T %v, want *UnknownAnalysisError", err, err)
+	}
+	if unknown.Name != "nope" {
+		t.Errorf("Name = %q", unknown.Name)
+	}
+	// The message is helpful: it names the miss and lists what exists.
+	for _, want := range []string{`"nope"`, "available", "fig3", "funnel"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// The memoization probe registers once per process (the registry is
+// global and rejects duplicates, so re-registering per test run — e.g.
+// under -count=2 — would panic) and counts its invocations.
+var (
+	memoProbeOnce  sync.Once
+	memoProbeCalls atomic.Int64
+)
+
+func registerMemoProbe() {
+	memoProbeOnce.Do(func() {
+		analysis.Register("test_memo_probe", "memoization probe (test only)",
+			func(ds *analysis.Dataset) (any, error) {
+				memoProbeCalls.Add(1)
+				return len(ds.Raw), nil
+			})
+	})
+}
+
+// TestEngineMemoization: an analysis runs at most once per engine, and
+// different engines do not share results.
+func TestEngineMemoization(t *testing.T) {
+	registerMemoProbe()
+	before := memoProbeCalls.Load()
+	eng := smallEngine(t)
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Analysis("test_memo_probe"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := memoProbeCalls.Load() - before; got != 1 {
+		t.Errorf("analysis ran %d times on one engine, want 1", got)
+	}
+	if _, err := smallEngine(t).Analysis("test_memo_probe"); err != nil {
+		t.Fatal(err)
+	}
+	if got := memoProbeCalls.Load() - before; got != 2 {
+		t.Errorf("fresh engine should recompute: %d calls, want 2", got)
+	}
+}
+
+func TestEngineDatasetComputedOnce(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streams atomic.Int64
+	eng := New(WithSource(countingSource{inner: SliceSource(runs), streams: &streams}))
+	if _, err := eng.Run("fig2", "fig3", "funnel", "ep"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Dataset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := streams.Load(); got != 1 {
+		t.Errorf("source streamed %d times, want 1", got)
+	}
+}
+
+// countingSource counts how often the corpus is streamed.
+type countingSource struct {
+	inner   Source
+	streams *atomic.Int64
+}
+
+func (c countingSource) Name() string { return "counting(" + c.inner.Name() + ")" }
+
+func (c countingSource) Each(workers int, yield func(*model.Run) error) error {
+	c.streams.Add(1)
+	return c.inner.Each(workers, yield)
+}
+
+func TestAnalysisAsTypeMismatch(t *testing.T) {
+	eng := smallEngine(t)
+	_, err := AnalysisAs[int](eng, "fig3")
+	if err == nil || !strings.Contains(err.Error(), "fig3") {
+		t.Fatalf("type mismatch should name the analysis, got %v", err)
+	}
+}
+
+func TestEngineWriteJSON(t *testing.T) {
+	eng := smallEngine(t)
+	var buf bytes.Buffer
+	if err := eng.WriteJSON(&buf, "funnel", "top100"); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Name        string          `json:"name"`
+		Description string          `json:"description"`
+		Value       json.RawMessage `json:"value"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 || decoded[0].Name != "funnel" || decoded[1].Name != "top100" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded[0].Description == "" {
+		t.Error("descriptions should be carried into JSON")
+	}
+	// Funnel reject reasons marshal by name, not enum ordinal.
+	if !strings.Contains(string(decoded[0].Value), "not accepted by SPEC") {
+		t.Errorf("funnel JSON should name reject reasons: %s", decoded[0].Value)
+	}
+}
+
+func TestEngineWriteAnalysisText(t *testing.T) {
+	eng := smallEngine(t)
+	results, err := eng.Run("funnel", "fig3", "growth", "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, res := range results {
+		if err := WriteAnalysisText(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"raw results:", "yearly means:", "S3 @", "Benchmark",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered text missing %q", want)
+		}
+	}
+}
+
+// TestEngineStaticAnalysisSkipsIngestion: corpus-independent analyses
+// (table1) must not trigger source streaming.
+func TestEngineStaticAnalysisSkipsIngestion(t *testing.T) {
+	var streams atomic.Int64
+	eng := New(WithSource(countingSource{inner: SliceSource(nil), streams: &streams}))
+	if _, err := eng.Run("table1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := streams.Load(); got != 0 {
+		t.Errorf("static analysis streamed the source %d times, want 0", got)
+	}
+}
+
+func TestEngineLazyConstruction(t *testing.T) {
+	// Construction must not touch the source; only the first analysis
+	// call may.
+	var streams atomic.Int64
+	eng := New(WithSource(countingSource{inner: SliceSource(nil), streams: &streams}))
+	if streams.Load() != 0 {
+		t.Fatal("New streamed the source eagerly")
+	}
+	if _, err := eng.Dataset(); err != nil {
+		t.Fatal(err)
+	}
+	if streams.Load() != 1 {
+		t.Fatalf("Dataset streamed %d times", streams.Load())
+	}
+}

@@ -5,12 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/model"
-	"repro/internal/parser"
 	"repro/internal/report"
 )
 
@@ -37,31 +34,13 @@ func WriteCorpus(dir string, runs []*model.Run, workers int) error {
 
 // LoadRuns parses every *.txt result file under dir, sharding across
 // workers goroutines (0 = GOMAXPROCS). Files are processed in sorted
-// name order so the result is deterministic.
+// name order so the result is deterministic. It materializes the whole
+// corpus; prefer streaming through DirSource when only the classified
+// dataset is needed.
 func LoadRuns(dir string, workers int) ([]*model.Run, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("core: read corpus dir: %w", err)
-	}
-	var paths []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
-			paths = append(paths, filepath.Join(dir, e.Name()))
-		}
-	}
-	sort.Strings(paths)
-	runs := make([]*model.Run, len(paths))
-	err = forEachParallel(len(paths), workers, func(i int) error {
-		f, err := os.Open(paths[i])
-		if err != nil {
-			return fmt.Errorf("core: open %s: %w", paths[i], err)
-		}
-		defer f.Close()
-		r, err := parser.Parse(f)
-		if err != nil {
-			return fmt.Errorf("core: parse %s: %w", paths[i], err)
-		}
-		runs[i] = r
+	var runs []*model.Run
+	err := DirSource{Dir: dir}.Each(workers, func(r *model.Run) error {
+		runs = append(runs, r)
 		return nil
 	})
 	if err != nil {
@@ -70,17 +49,12 @@ func LoadRuns(dir string, workers int) ([]*model.Run, error) {
 	return runs, nil
 }
 
-// LoadStudy parses a corpus directory and classifies it.
-func LoadStudy(dir string, workers int) (*Study, error) {
-	runs, err := LoadRuns(dir, workers)
-	if err != nil {
-		return nil, err
-	}
-	return NewStudy(runs), nil
-}
-
-// forEachParallel runs fn(0..n-1) on a bounded worker pool and returns
-// the first error (all workers drain before returning).
+// forEachParallel runs fn(0..n-1) on a bounded worker pool. On failure
+// it returns the error of the lowest failing index — not whichever
+// worker lost the race — so error reporting is deterministic. All
+// workers drain before returning; once an error at index i is recorded,
+// work at indexes above i may be skipped (indexes below i still run, in
+// case one of them fails too).
 func forEachParallel(n, workers int, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -99,21 +73,37 @@ func forEachParallel(n, workers int, fn func(i int) error) error {
 		}
 		return nil
 	}
+	var (
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstIdx == -1 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	skippable := func(i int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstIdx != -1 && i > firstIdx
+	}
 	idx := make(chan int)
-	errs := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var firstErr error
 			for i := range idx {
-				if firstErr != nil {
-					continue // drain, but do no more work
+				if skippable(i) {
+					continue
 				}
-				firstErr = fn(i)
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
 			}
-			errs <- firstErr
 		}()
 	}
 	for i := 0; i < n; i++ {
@@ -121,11 +111,5 @@ func forEachParallel(n, workers int, fn func(i int) error) error {
 	}
 	close(idx)
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return firstErr
 }

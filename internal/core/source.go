@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/parser"
+	"repro/internal/synth"
+)
+
+// A Source streams a corpus of runs into an Engine. Implementations
+// deliver runs one at a time, in a deterministic order, so the engine's
+// DatasetBuilder can classify each run as it arrives instead of holding
+// the whole corpus in memory first.
+//
+// Each calls yield sequentially for every run; a non-nil yield error
+// stops the stream and is returned. workers bounds any internal
+// parallelism (0 = GOMAXPROCS); sources without internal parallelism
+// ignore it.
+type Source interface {
+	// Name describes the source in errors and logs.
+	Name() string
+	Each(workers int, yield func(*model.Run) error) error
+}
+
+// SliceSource streams an in-memory corpus in slice order.
+type SliceSource []*model.Run
+
+// Name implements Source.
+func (s SliceSource) Name() string { return fmt.Sprintf("slice[%d]", len(s)) }
+
+// Each implements Source.
+func (s SliceSource) Each(_ int, yield func(*model.Run) error) error {
+	for _, r := range s {
+		if err := yield(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SynthSource generates the synthetic corpus (the stand-in for the
+// paper's 1017 downloaded result files) and streams it in submission
+// order.
+type SynthSource struct {
+	Options synth.Options
+}
+
+// Name implements Source.
+func (s SynthSource) Name() string {
+	return fmt.Sprintf("synth(seed=%d)", s.Options.Seed)
+}
+
+// Each implements Source.
+func (s SynthSource) Each(_ int, yield func(*model.Run) error) error {
+	runs, err := synth.Generate(s.Options)
+	if err != nil {
+		return err
+	}
+	return SliceSource(runs).Each(0, yield)
+}
+
+// DirSource streams every *.txt result file under Dir, parsed across a
+// worker pool but delivered in sorted file-name order. At most workers
+// parsed runs exist outside the consumer at any time (a token is
+// acquired before a file is parsed and released once the run has been
+// yielded), so ingesting a corpus much larger than memory is safe.
+type DirSource struct {
+	Dir string
+
+	// trackHeld, when non-nil, observes the number of parsed runs the
+	// source currently holds (test instrumentation for the streaming
+	// bound).
+	trackHeld func(delta int)
+}
+
+// Name implements Source.
+func (s DirSource) Name() string { return "dir(" + s.Dir + ")" }
+
+// listResultFiles returns the sorted *.txt paths under dir.
+func listResultFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: read corpus dir: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// parseResultFile parses one result file.
+func parseResultFile(path string) (*model.Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r, err := parser.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Each implements Source. Errors are deterministic: the first failing
+// file in sorted name order wins, regardless of which worker hit it
+// first.
+func (s DirSource) Each(workers int, yield func(*model.Run) error) error {
+	paths, err := listResultFiles(s.Dir)
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	track := s.trackHeld
+	if track == nil {
+		track = func(int) {}
+	}
+	if workers <= 1 {
+		for _, p := range paths {
+			r, err := parseResultFile(p)
+			if err != nil {
+				return err
+			}
+			track(+1)
+			err = yield(r)
+			track(-1)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Parallel ordered streaming. The dispatcher acquires one token per
+	// file before handing it to the pool, and the consumer releases the
+	// token only after the run has been yielded, so at most workers
+	// parsed-but-unconsumed runs exist. Results come back through a
+	// per-job buffered channel, read in dispatch (= sorted) order.
+	type item struct {
+		run *model.Run
+		err error
+	}
+	type job struct {
+		path string
+		res  chan item
+	}
+	var (
+		tokens  = make(chan struct{}, workers)
+		jobs    = make(chan *job, workers)
+		ordered = make(chan *job, workers)
+		done    = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() { // dispatcher
+		defer wg.Done()
+		defer close(jobs)
+		defer close(ordered)
+		for _, p := range paths {
+			select {
+			case tokens <- struct{}{}:
+			case <-done:
+				return
+			}
+			j := &job{path: p, res: make(chan item, 1)}
+			jobs <- j    // cap == workers ≥ in-flight tokens: never blocks
+			ordered <- j // same bound
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := parseResultFile(j.path)
+				if err == nil {
+					track(+1)
+				}
+				j.res <- item{run: r, err: err}
+			}
+		}()
+	}
+
+	var firstErr error
+	for j := range ordered {
+		it := <-j.res
+		if firstErr == nil {
+			if it.err != nil {
+				firstErr = it.err
+				close(done)
+			} else {
+				err := yield(it.run)
+				if err != nil {
+					firstErr = err
+					close(done)
+				}
+			}
+		}
+		if it.err == nil {
+			track(-1)
+		}
+		<-tokens // release: the run has left the source
+	}
+	wg.Wait()
+	return firstErr
+}

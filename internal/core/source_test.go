@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestSliceSourceRoundTrip(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := SliceSource(runs)
+	var got int
+	err = src.Each(0, func(r *model.Run) error {
+		if r != runs[got] {
+			t.Fatalf("run %d delivered out of order", got)
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(runs) {
+		t.Fatalf("yielded %d of %d runs", got, len(runs))
+	}
+	// The engine over the same slice reproduces BuildDataset exactly.
+	ds, err := New(WithSource(src)).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Raw) != len(runs) {
+		t.Fatalf("raw %d vs %d", len(ds.Raw), len(runs))
+	}
+	// A yield error stops the stream.
+	stop := errors.New("stop")
+	n := 0
+	err = src.Each(0, func(*model.Run) error {
+		n++
+		if n == 3 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) || n != 3 {
+		t.Fatalf("err=%v after %d yields, want stop after 3", err, n)
+	}
+}
+
+func TestDirSourceMissingDir(t *testing.T) {
+	src := DirSource{Dir: filepath.Join(t.TempDir(), "nope")}
+	if err := src.Each(0, func(*model.Run) error { return nil }); err == nil {
+		t.Error("missing dir should error")
+	}
+	if _, err := New(WithSource(src)).Dataset(); err == nil ||
+		!strings.Contains(err.Error(), "nope") {
+		t.Errorf("engine error should name the source, got %v", err)
+	}
+}
+
+func TestDirSourceEmptyDir(t *testing.T) {
+	ds, err := New(WithSource(DirSource{Dir: t.TempDir()})).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := ds.Funnel; f.Raw != 0 || f.Parsed != 0 || f.Comparable != 0 {
+		t.Errorf("empty dir funnel = %v", f)
+	}
+}
+
+// TestDirSourceDeterministicError: with several corrupt files and many
+// workers, the reported error is always the alphabetically first bad
+// file.
+func TestDirSourceDeterministicError(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"aa_bad.txt", "mm_bad.txt", "zz_bad.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("not a report"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 20; round++ {
+		err := DirSource{Dir: dir}.Each(8, func(*model.Run) error { return nil })
+		if err == nil || !strings.Contains(err.Error(), "aa_bad.txt") {
+			t.Fatalf("round %d: err = %v, want the first bad file (aa_bad.txt)", round, err)
+		}
+	}
+}
+
+// TestDirSourceStreamingBound verifies the streaming memory contract:
+// ingestion never holds more than workers parsed runs outside the
+// consumer, however slow the consumer is.
+func TestDirSourceStreamingBound(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 3
+	var held, maxHeld atomic.Int64
+	src := DirSource{
+		Dir: dir,
+		trackHeld: func(delta int) {
+			h := held.Add(int64(delta))
+			for {
+				m := maxHeld.Load()
+				if h <= m || maxHeld.CompareAndSwap(m, h) {
+					break
+				}
+			}
+		},
+	}
+	count := 0
+	err = src.Each(workers, func(*model.Run) error {
+		// A deliberately slow consumer lets the worker pool race ahead
+		// as far as it ever will.
+		for i := 0; i < 10000; i++ {
+			_ = i * i
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(runs) {
+		t.Fatalf("yielded %d of %d runs", count, len(runs))
+	}
+	if got := maxHeld.Load(); got > workers {
+		t.Errorf("source held %d parsed runs at once, streaming bound is %d", got, workers)
+	}
+	if held.Load() != 0 {
+		t.Errorf("source still holds %d runs after Each returned", held.Load())
+	}
+}
+
+// TestDirSourceOrder: parallel ingestion delivers runs in sorted
+// file-name order, matching the sequential path.
+func TestDirSourceOrder(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	collect := func(workers int) []string {
+		var ids []string
+		err := DirSource{Dir: dir}.Each(workers, func(r *model.Run) error {
+			ids = append(ids, r.ID)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+	seq, par := collect(1), collect(8)
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("order differs at %d: %s vs %s", i, seq[i], par[i])
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/analysis"
 	"repro/internal/plot"
@@ -48,19 +50,40 @@ func TrendASCII(fig analysis.TrendFigure, yLabel string) string {
 	return b.String()
 }
 
+// trendYLabels maps registered trend-figure analyses to their y-axis
+// labels in the terminal report.
+var trendYLabels = map[string]string{
+	"fig2": "W/socket",
+	"fig3": "ssj_ops/W",
+	"fig5": "idle/full",
+	"fig6": "extrapolated/measured",
+}
+
 // WriteReport prints the full study — funnel, all six figures, Table I
-// and the in-text statistics — as a terminal report.
-func (s *Study) WriteReport(w io.Writer) error {
-	ds := s.Dataset
+// and the in-text statistics — as a terminal report. Every section is
+// pulled through the engine's memoized analysis cache, so a report
+// after targeted Run calls only computes what is still missing.
+func (e *Engine) WriteReport(w io.Writer) error {
+	// Surface source errors before any section is printed.
+	if _, err := e.Dataset(); err != nil {
+		return err
+	}
 	sectionHdr := func(title string) {
 		fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
 	}
 
+	funnel, err := AnalysisAs[analysis.Funnel](e, "funnel")
+	if err != nil {
+		return err
+	}
 	sectionHdr("Filter funnel (Section II)")
-	fmt.Fprint(w, ds.Funnel.String())
+	fmt.Fprint(w, funnel.String())
 
+	s2, err := AnalysisAs[analysis.SubmissionStats](e, "submissions")
+	if err != nil {
+		return err
+	}
 	sectionHdr("Submission trends (S2)")
-	s2 := analysis.SubmissionTrends(ds.Parsed)
 	fmt.Fprintf(w, "runs/year 2005–2023:  %5.1f   (paper: 44.2)\n", s2.RunsPerYear0523)
 	fmt.Fprintf(w, "runs/year 2013–2017:  %5.1f   (paper: 15.2)\n", s2.RunsPerYear1317)
 	fmt.Fprintf(w, "Linux share pre/post 2018:  %4.1f %% → %4.1f %%   (paper: 2.2 → 36.3)\n",
@@ -68,8 +91,173 @@ func (s *Study) WriteReport(w io.Writer) error {
 	fmt.Fprintf(w, "AMD share pre/post 2018:    %4.1f %% → %4.1f %%   (paper: 13.0 → 31.3)\n",
 		100*s2.AMDSharePre, 100*s2.AMDSharePost)
 
+	fig1, err := AnalysisAs[[]analysis.Fig1Row](e, "fig1")
+	if err != nil {
+		return err
+	}
 	sectionHdr("Figure 1: corpus composition by year")
-	fig1 := analysis.Fig1Shares(ds.Parsed)
+	writeFig1(w, fig1)
+
+	fig2, err := AnalysisAs[analysis.TrendFigure](e, "fig2")
+	if err != nil {
+		return err
+	}
+	sectionHdr("Figure 2: power per socket at full load")
+	fmt.Fprint(w, TrendASCII(fig2, trendYLabels["fig2"]))
+	growth, err := AnalysisAs[[]analysis.GrowthFactor](e, "growth")
+	if err != nil {
+		return err
+	}
+	writeGrowth(w, growth)
+
+	fig3, err := AnalysisAs[analysis.TrendFigure](e, "fig3")
+	if err != nil {
+		return err
+	}
+	sectionHdr("Figure 3: overall efficiency")
+	fmt.Fprint(w, TrendASCII(fig3, trendYLabels["fig3"]))
+	top, err := AnalysisAs[analysis.TopEfficiency](e, "top100")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "S4 top-100 most efficient: AMD %d, Intel %d   (paper: 98 / 2)\n",
+		top.ByVendor["AMD"], top.ByVendor["Intel"])
+
+	fig4, err := AnalysisAs[[]analysis.Fig4Cell](e, "fig4")
+	if err != nil {
+		return err
+	}
+	sectionHdr("Figure 4: relative efficiency at 60–90 % load")
+	fmt.Fprint(w, Fig4ASCII(fig4))
+
+	fig5, err := AnalysisAs[analysis.TrendFigure](e, "fig5")
+	if err != nil {
+		return err
+	}
+	sectionHdr("Figure 5: idle power fraction")
+	fmt.Fprint(w, TrendASCII(fig5, trendYLabels["fig5"]))
+	s5, err := AnalysisAs[analysis.IdleFractionStats](e, "idlehistory")
+	if err != nil {
+		return err
+	}
+	writeIdleHistory(w, s5)
+
+	if cf, err := AnalysisAs[analysis.ChangepointFinding](e, "changepoint"); err == nil {
+		fmt.Fprintf(w, "Pettitt changepoint: idle-fraction regime break after %d (p=%.4f, significant=%v)\n",
+			cf.Year, cf.P, cf.Significant)
+	}
+
+	fig6, err := AnalysisAs[analysis.TrendFigure](e, "fig6")
+	if err != nil {
+		return err
+	}
+	sectionHdr("Figure 6: extrapolated idle quotient")
+	fmt.Fprint(w, TrendASCII(fig6, trendYLabels["fig6"]))
+
+	s6, err := AnalysisAs[analysis.RecentFeatureStats](e, "features")
+	if err != nil {
+		return err
+	}
+	sectionHdr("S6: feature comparison since 2021")
+	writeFeatures(w, s6)
+
+	trends, err := AnalysisAs[[]analysis.TrendAssessment](e, "trends")
+	if err != nil {
+		return err
+	}
+	sectionHdr("Trend tests (Mann-Kendall + Theil–Sen, α = 0.10)")
+	writeTrends(w, trends)
+
+	ep, err := AnalysisAs[[]analysis.YearlyStat](e, "ep")
+	if err != nil {
+		return err
+	}
+	sectionHdr("Energy proportionality score by year")
+	for _, ys := range ep {
+		fmt.Fprintf(w, "  %d  n=%-3d EP=%.3f\n", ys.Year, ys.N, ys.Mean)
+	}
+
+	findings, err := AnalysisAs[[]analysis.ConfoundFinding](e, "confound")
+	if err != nil {
+		return err
+	}
+	sectionHdr("Correlation exploration since 2021 (vendor confounding)")
+	writeConfound(w, findings)
+
+	rows, err := AnalysisAs[[]speccpu.DuelRow](e, "table1")
+	if err != nil {
+		return err
+	}
+	sectionHdr("Table I: SR650 V3 (Intel) vs SR645 V3 (AMD)")
+	writeTable1(w, rows)
+	return nil
+}
+
+// WriteReport prints the full study report.
+//
+// Deprecated: call Engine.WriteReport.
+func (s *Study) WriteReport(w io.Writer) error {
+	return s.engine().WriteReport(w)
+}
+
+// WriteAnalysisText renders one named analysis result as terminal text.
+// Known result types get the same rendering the full report uses;
+// anything else falls back to indented JSON, so externally registered
+// analyses print usefully too.
+func WriteAnalysisText(w io.Writer, res Result) error {
+	fmt.Fprintf(w, "\n%s — %s\n%s\n", res.Name, res.Description,
+		strings.Repeat("=", utf8.RuneCountInString(res.Name)+3+
+			utf8.RuneCountInString(res.Description)))
+	switch v := res.Value.(type) {
+	case analysis.Funnel:
+		fmt.Fprint(w, v.String())
+	case analysis.TrendFigure:
+		fmt.Fprint(w, TrendASCII(v, trendYLabels[res.Name]))
+	case []analysis.Fig1Row:
+		writeFig1(w, v)
+	case []analysis.Fig4Cell:
+		fmt.Fprint(w, Fig4ASCII(v))
+	case analysis.SubmissionStats:
+		fmt.Fprintf(w, "runs/year 2005–2023: %.1f   2013–2017: %.1f\n",
+			v.RunsPerYear0523, v.RunsPerYear1317)
+		fmt.Fprintf(w, "Linux share pre/post 2018: %.1f %% → %.1f %%\n",
+			100*v.LinuxSharePre, 100*v.LinuxSharePost)
+		fmt.Fprintf(w, "AMD share pre/post 2018:   %.1f %% → %.1f %%\n",
+			100*v.AMDSharePre, 100*v.AMDSharePost)
+	case []analysis.GrowthFactor:
+		writeGrowth(w, v)
+	case analysis.TopEfficiency:
+		fmt.Fprintf(w, "top-%d most efficient: AMD %d, Intel %d\n",
+			v.N, v.ByVendor["AMD"], v.ByVendor["Intel"])
+	case analysis.IdleFractionStats:
+		writeIdleHistory(w, v)
+	case analysis.RecentFeatureStats:
+		writeFeatures(w, v)
+	case []analysis.TrendAssessment:
+		writeTrends(w, v)
+	case []analysis.YearlyStat:
+		for _, ys := range v {
+			fmt.Fprintf(w, "  %d  n=%-3d mean=%.4g median=%.4g\n",
+				ys.Year, ys.N, ys.Mean, ys.Median)
+		}
+	case []analysis.ConfoundFinding:
+		writeConfound(w, v)
+	case analysis.ChangepointFinding:
+		fmt.Fprintf(w, "%s regime break after %d (p=%.4f, significant=%v)\n",
+			v.Metric, v.Year, v.P, v.Significant)
+	case []speccpu.DuelRow:
+		writeTable1(w, v)
+	default:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Value); err != nil {
+			return fmt.Errorf("core: render %s: %w", res.Name, err)
+		}
+	}
+	return nil
+}
+
+func writeFig1(w io.Writer, fig1 []analysis.Fig1Row) {
 	for _, row := range fig1 {
 		fmt.Fprintf(w, "%d  n=%-3d  Win %3.0f%% Lin %3.0f%% | Intel %3.0f%% AMD %3.0f%% | 2S %3.0f%% | multi-node %3.0f%%\n",
 			row.Year, row.Count,
@@ -89,41 +277,22 @@ func (s *Study) WriteReport(w io.Writer) error {
 	fmt.Fprintln(w)
 	fmt.Fprint(w, plot.ASCIIStacked(vendorRows, []string{"Intel", "AMD", "Other"},
 		plot.Axes{Title: "CPU vendor share per year", Width: 60}))
+}
 
-	sectionHdr("Figure 2: power per socket at full load")
-	fmt.Fprint(w, TrendASCII(analysis.Fig2PowerPerSocket(ds.Comparable), "W/socket"))
-	growth := analysis.PowerGrowth(ds.Comparable)
+func writeGrowth(w io.Writer, growth []analysis.GrowthFactor) {
 	for _, g := range growth {
 		fmt.Fprintf(w, "S3 @%3d%%: early %.1f W → late %.1f W  (×%.2f)\n",
 			g.Load, g.EarlyMean, g.LateMean, g.Factor)
 	}
+}
 
-	sectionHdr("Figure 3: overall efficiency")
-	fmt.Fprint(w, TrendASCII(analysis.Fig3OverallEfficiency(ds.Comparable), "ssj_ops/W"))
-	top := analysis.TopEfficient(ds.Comparable, 100)
-	fmt.Fprintf(w, "S4 top-100 most efficient: AMD %d, Intel %d   (paper: 98 / 2)\n",
-		top.ByVendor["AMD"], top.ByVendor["Intel"])
-
-	sectionHdr("Figure 4: relative efficiency at 60–90 % load")
-	fmt.Fprint(w, Fig4ASCII(ds))
-
-	sectionHdr("Figure 5: idle power fraction")
-	fmt.Fprint(w, TrendASCII(analysis.Fig5IdleFraction(ds.Comparable), "idle/full"))
-	s5 := analysis.IdleFractionHistory(ds.Comparable, 5)
+func writeIdleHistory(w io.Writer, s5 analysis.IdleFractionStats) {
 	fmt.Fprintf(w, "S5: %d mean %.1f %% → min %d %.1f %% → %d mean %.1f %%   (paper: 70.1 → 15.7 (2017) → 25.7 (2024))\n",
 		s5.FirstYear, 100*s5.FirstYearMean, s5.MinYear, 100*s5.MinYearMean,
 		s5.LastYear, 100*s5.LastYearMean)
+}
 
-	if cf, err := analysis.IdleFractionChangepoint(ds.Comparable, 5, 0.05); err == nil {
-		fmt.Fprintf(w, "Pettitt changepoint: idle-fraction regime break after %d (p=%.4f, significant=%v)\n",
-			cf.Year, cf.P, cf.Significant)
-	}
-
-	sectionHdr("Figure 6: extrapolated idle quotient")
-	fmt.Fprint(w, TrendASCII(analysis.Fig6IdleQuotient(ds.Comparable), "extrapolated/measured"))
-
-	sectionHdr("S6: feature comparison since 2021")
-	s6 := analysis.RecentFeatures(ds.Comparable, 2021)
+func writeFeatures(w io.Writer, s6 analysis.RecentFeatureStats) {
 	fmt.Fprintf(w, "mean cores: AMD %.1f vs Intel %.1f   (paper: 85.8 vs 39.5)\n",
 		s6.AMD.MeanCores, s6.Intel.MeanCores)
 	fmt.Fprintf(w, "nominal GHz: AMD %.2f ±%.2f vs Intel %.2f ±%.2f   (paper: ≈2.3 both, σ 0.3 vs 0.5)\n",
@@ -136,26 +305,19 @@ func (s *Study) WriteReport(w io.Writer) error {
 		}
 		fmt.Fprintln(w)
 	}
+}
 
-	sectionHdr("Trend tests (Mann-Kendall + Theil–Sen, α = 0.10)")
-	trends, err := analysis.PaperTrends(ds.Comparable, 0.10)
-	if err != nil {
-		return err
-	}
+func writeTrends(w io.Writer, trends []analysis.TrendAssessment) {
 	for _, ta := range trends {
 		fmt.Fprintf(w, "%-44s %-11s p=%.4f  Sen slope %+.4g/yr  τ=%+.2f  (%d–%d)\n",
 			ta.Metric, ta.MK.Direction, ta.MK.P, ta.SenSlopePerYear, ta.Tau,
 			ta.FromYear, ta.ToYear)
 	}
+}
 
-	sectionHdr("Energy proportionality score by year")
-	for _, ys := range analysis.EPByYear(ds.Comparable) {
-		fmt.Fprintf(w, "  %d  n=%-3d EP=%.3f\n", ys.Year, ys.N, ys.Mean)
-	}
-
-	sectionHdr("Correlation exploration since 2021 (vendor confounding)")
+func writeConfound(w io.Writer, findings []analysis.ConfoundFinding) {
 	fmt.Fprintf(w, "%-24s %8s %8s %8s  %s\n", "pair", "pooled", "AMD", "Intel", "verdict")
-	for _, f := range analysis.ConfoundingScan(ds.Comparable, 2021) {
+	for _, f := range findings {
 		verdict := ""
 		if f.Confounded {
 			verdict = "vendor-confounded"
@@ -165,28 +327,19 @@ func (s *Study) WriteReport(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "(the paper: \"our correlation analysis … remains inconclusive\" — "+
 		"pooled correlations collapse within vendor strata)")
+}
 
-	sectionHdr("Table I: SR650 V3 (Intel) vs SR645 V3 (AMD)")
-	intelSys, amdSys, err := speccpu.DefaultDuel()
-	if err != nil {
-		return err
-	}
-	rows, err := speccpu.Table1(intelSys, amdSys)
-	if err != nil {
-		return err
-	}
+func writeTable1(w io.Writer, rows []speccpu.DuelRow) {
 	fmt.Fprintf(w, "%-36s %10s %10s %8s\n", "Benchmark", "Intel", "AMD", "Factor")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-36s %10.0f %10.0f %8.2f\n", r.Benchmark, r.Intel, r.AMD, r.Factor)
 	}
 	fmt.Fprintf(w, "(paper factors: ssj ×2.09, fp ×1.53, int ×2.03)\n")
-	return nil
 }
 
 // Fig4ASCII renders Figure 4 as stacked ASCII box plots per vendor and
 // load level, one row per year.
-func Fig4ASCII(ds *analysis.Dataset) string {
-	cells := analysis.Fig4RelativeEfficiency(ds.Comparable)
+func Fig4ASCII(cells []analysis.Fig4Cell) string {
 	type key struct {
 		vendor string
 		load   int

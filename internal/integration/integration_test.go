@@ -19,7 +19,6 @@ import (
 	"repro/internal/ptd"
 	"repro/internal/report"
 	"repro/internal/ssj"
-	"repro/internal/synth"
 )
 
 // TestSSJOverPTDToReportToAnalysis runs the real benchmark engine with
@@ -104,13 +103,15 @@ func TestSSJOverPTDToReportToAnalysis(t *testing.T) {
 }
 
 // TestFullCorpusDiskRoundTrip is the specgen → specparse pipeline: the
-// default corpus is written to disk, parsed back, and must reproduce
-// the paper's funnel and headline statistics exactly.
+// default corpus is written to disk, streamed back through a DirSource
+// engine, and must reproduce the paper's funnel and headline statistics
+// exactly.
 func TestFullCorpusDiskRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("writes 1017 files")
 	}
-	runs, err := core.GenerateCorpus(synth.DefaultOptions())
+	direct := core.New() // default synthetic source
+	runs, err := direct.Runs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,18 +119,26 @@ func TestFullCorpusDiskRoundTrip(t *testing.T) {
 	if err := core.WriteCorpus(dir, runs, 0); err != nil {
 		t.Fatal(err)
 	}
-	study, err := core.LoadStudy(dir, 0)
+	streamed := core.New(core.WithSource(core.DirSource{Dir: dir}))
+	ds, err := streamed.Dataset()
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := study.Dataset.Funnel
+	f := ds.Funnel
 	if f.Raw != 1017 || f.Parsed != 960 || f.Comparable != 676 {
 		t.Fatalf("funnel after disk round trip: %d/%d/%d", f.Raw, f.Parsed, f.Comparable)
 	}
-	// Derived metrics survive the decimal formatting of the reports.
-	direct := core.NewStudy(runs)
-	dEff := analysis.Fig3OverallEfficiency(direct.Dataset.Comparable).Yearly
-	pEff := analysis.Fig3OverallEfficiency(study.Dataset.Comparable).Yearly
+	// Derived metrics survive the decimal formatting of the reports; the
+	// figures come out of each engine's analysis registry.
+	dFig, err := core.AnalysisAs[analysis.TrendFigure](direct, "fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFig, err := core.AnalysisAs[analysis.TrendFigure](streamed, "fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dEff, pEff := dFig.Yearly, pFig.Yearly
 	if len(dEff) != len(pEff) {
 		t.Fatalf("yearly bins differ: %d vs %d", len(dEff), len(pEff))
 	}
@@ -143,8 +152,14 @@ func TestFullCorpusDiskRoundTrip(t *testing.T) {
 		}
 	}
 	// Top-100 composition is stable across the round trip.
-	a := analysis.TopEfficient(direct.Dataset.Comparable, 100)
-	b := analysis.TopEfficient(study.Dataset.Comparable, 100)
+	a, err := core.AnalysisAs[analysis.TopEfficiency](direct, "top100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.AnalysisAs[analysis.TopEfficiency](streamed, "top100")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.ByVendor["AMD"] != b.ByVendor["AMD"] {
 		t.Errorf("top-100 AMD changed across round trip: %d vs %d",
 			a.ByVendor["AMD"], b.ByVendor["AMD"])

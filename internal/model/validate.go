@@ -77,6 +77,12 @@ func (rr RejectReason) String() string {
 	}
 }
 
+// MarshalText renders the reason by name, so JSON funnels are readable
+// without knowledge of the Go enum.
+func (rr RejectReason) MarshalText() ([]byte, error) {
+	return []byte(rr.String()), nil
+}
+
 // IsParseStage reports whether the reason belongs to the
 // parse-consistency group (applied before the 960-run dataset).
 func (rr RejectReason) IsParseStage() bool {
