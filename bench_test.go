@@ -224,7 +224,7 @@ func BenchmarkRecentFeatureStats(b *testing.B) {
 
 func BenchmarkPaperTrendTests(b *testing.B) {
 	ds := dataset(b)
-	trends, err := analysis.PaperTrends(ds.Comparable, 0.10)
+	trends, err := analysis.PaperTrends(ds.Comparable, 0.10, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func BenchmarkPaperTrendTests(b *testing.B) {
 	printOnce("trends", out)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := analysis.PaperTrends(ds.Comparable, 0.10); err != nil {
+		if _, err := analysis.PaperTrends(ds.Comparable, 0.10, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -439,6 +439,118 @@ func BenchmarkStreamingIngest(b *testing.B) {
 				b.Fatal(err)
 			}
 			_ = analysis.BuildDataset(runs)
+		}
+	})
+}
+
+// BenchmarkEngineRunFullReport (D7): every registered analysis through
+// Engine.Run, scheduled sequentially (workers=1) vs fanned out across
+// the worker pool. The parallel schedule costs max(analysis) wall-clock
+// instead of sum(analysis); each iteration uses a fresh engine so
+// nothing is served from the memo cache. Caveat: the paper's mix is
+// dominated by the trends analysis, which parallelizes internally
+// (GOMAXPROCS) in both arms, so the scheduling delta here understates
+// the win — BenchmarkEngineRunScheduling isolates it with equal-cost,
+// internally-serial analyses.
+func BenchmarkEngineRunFullReport(b *testing.B) {
+	raw := dataset(b).Raw
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := core.New(core.WithSource(core.SliceSource(raw)),
+					core.WithWorkers(bc.workers))
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The scheduling probes are eight equal-cost analyses (a quadratic
+// Sen-slope scan each), registered once per process: with equal costs,
+// a sequential schedule pays sum(analysis) while the parallel one pays
+// max(analysis), isolating the scheduler from the paper's skewed
+// analysis mix.
+var benchLoadOnce sync.Once
+
+const benchLoads = 8
+
+func registerBenchLoads() {
+	benchLoadOnce.Do(func() {
+		for i := 0; i < benchLoads; i++ {
+			analysis.Register(fmt.Sprintf("bench_load_%d", i),
+				"equal-cost scheduling probe (benchmark only)",
+				func(ds *analysis.Dataset) (any, error) {
+					xs := make([]float64, 0, len(ds.Comparable))
+					ys := make([]float64, 0, len(ds.Comparable))
+					for _, r := range ds.Comparable {
+						xs = append(xs, r.HWAvail.Frac())
+						ys = append(ys, r.OverallOpsPerWatt())
+					}
+					v, err := stats.SenSlope(xs, ys)
+					return v, err
+				})
+		}
+	})
+}
+
+// BenchmarkEngineRunScheduling (D9): Engine.Run over the eight probes,
+// sequential vs fanned out.
+func BenchmarkEngineRunScheduling(b *testing.B) {
+	registerBenchLoads()
+	raw := dataset(b).Raw
+	names := make([]string, benchLoads)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench_load_%d", i)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := core.New(core.WithSource(core.SliceSource(raw)),
+					core.WithWorkers(bc.workers))
+				if _, err := eng.Run(names...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCachedIngest (D8): corpus-directory ingestion cold through
+// the text parser (DirSource) vs warm through the gob parse cache
+// (CachedSource after one priming pass), which skips parsing entirely.
+func BenchmarkCachedIngest(b *testing.B) {
+	ds := dataset(b)
+	dir := b.TempDir()
+	if err := core.WriteCorpus(dir, ds.Raw[:256], 0); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold-dir", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := core.New(core.WithSource(core.DirSource{Dir: dir}))
+			if _, err := eng.Dataset(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		src := core.CachedSource{Dir: dir}
+		if _, err := core.New(core.WithSource(src)).Dataset(); err != nil {
+			b.Fatal(err) // priming pass writes the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := core.New(core.WithSource(src))
+			if _, err := eng.Dataset(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

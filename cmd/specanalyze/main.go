@@ -1,15 +1,21 @@
 // Command specanalyze runs the paper's longitudinal study and prints
 // figures and statistics as a terminal report or JSON.
 //
-// With -in it analyses a parsed corpus directory (e.g. produced by
-// specgen), streamed through the core.DirSource worker pool; without
-// it, it generates the default calibrated corpus in memory. -only
-// selects individual analyses by registry name (see -list); -json
-// switches to machine-readable output.
+// -in selects a corpus and is repeatable: each value is either a parsed
+// corpus directory (e.g. produced by specgen, streamed through the
+// core.DirSource worker pool) or "synth:<seed>" for an in-memory
+// synthetic corpus; several -in flags are merged into one stream.
+// Without -in, the default calibrated corpus is generated in memory.
+// -cache keeps a gob parse cache next to each corpus directory so
+// repeat runs skip the text parser; -filter slices the corpus with a
+// predicate expression ("vendor=AMD,since=2021" — see core.ParseFilter).
+// -only selects individual analyses by registry name (see -list);
+// -json switches to machine-readable output.
 //
 // Usage:
 //
-//	specanalyze [-in corpus/] [-seed 14] [-only fig3,funnel] [-json] [-list]
+//	specanalyze [-in corpus/]... [-in synth:14] [-cache] [-filter expr]
+//	            [-seed 14] [-only fig3,funnel] [-json] [-list]
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/analysis"
@@ -25,12 +32,47 @@ import (
 	"repro/internal/synth"
 )
 
+// multiFlag collects repeated -in values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	// An empty -in (e.g. an unset shell variable) falls through to the
+	// default in-memory corpus, as the usage string promises.
+	if v != "" {
+		*m = append(*m, v)
+	}
+	return nil
+}
+
+// sourceFor builds the source for one -in value: a corpus directory
+// (cached when asked) or "synth:<seed>".
+func sourceFor(in string, cache bool) (core.Source, error) {
+	if spec, ok := strings.CutPrefix(in, "synth:"); ok {
+		seed, err := strconv.ParseInt(spec, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-in %q: synth seed must be an integer", in)
+		}
+		opt := synth.DefaultOptions()
+		opt.Seed = seed
+		return core.SynthSource{Options: opt}, nil
+	}
+	if cache {
+		return core.CachedSource{Dir: in}, nil
+	}
+	return core.DirSource{Dir: in}, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("specanalyze: ")
-	in := flag.String("in", "", "corpus directory (empty = generate in memory)")
+	var ins multiFlag
+	flag.Var(&ins, "in", "corpus directory or synth:<seed>; repeatable, merged in order (empty = generate in memory)")
 	seed := flag.Int64("seed", synth.DefaultSeed, "seed when generating in memory")
-	workers := flag.Int("workers", 0, "parallel parsers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "parallel parsers and analyses (0 = GOMAXPROCS)")
+	cache := flag.Bool("cache", false, "keep a gob parse cache next to each corpus directory")
+	filter := flag.String("filter", "", "corpus slice, e.g. \"vendor=AMD,since=2021\" (keys: vendor, os, year, since)")
 	only := flag.String("only", "", "comma-separated analysis names to run (empty = full report)")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of text")
 	list := flag.Bool("list", false, "list registered analyses and exit")
@@ -44,13 +86,37 @@ func main() {
 		return
 	}
 
-	opts := []core.Option{core.WithWorkers(*workers)}
-	if *in != "" {
-		opts = append(opts, core.WithSource(core.DirSource{Dir: *in}))
-	} else {
-		opts = append(opts, core.WithSeed(*seed))
+	var src core.Source
+	switch len(ins) {
+	case 0:
+		opt := synth.DefaultOptions()
+		opt.Seed = *seed
+		src = core.SynthSource{Options: opt}
+	case 1:
+		s, err := sourceFor(ins[0], *cache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = s
+	default:
+		merged := make(core.MergeSource, len(ins))
+		for i, in := range ins {
+			s, err := sourceFor(in, *cache)
+			if err != nil {
+				log.Fatal(err)
+			}
+			merged[i] = s
+		}
+		src = merged
 	}
-	eng := core.New(opts...)
+	if *filter != "" {
+		keep, err := core.ParseFilter(*filter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = core.FilterSource{Inner: src, Keep: keep, Desc: *filter}
+	}
+	eng := core.New(core.WithSource(src), core.WithWorkers(*workers))
 
 	var names []string
 	if *only != "" {

@@ -51,6 +51,11 @@ type Dataset struct {
 	Comparable []*model.Run
 	// Funnel is the removal accounting.
 	Funnel Funnel
+	// Workers bounds the internal parallelism of analyses computed from
+	// this dataset (0 = GOMAXPROCS). The engine sets it from its own
+	// worker option, so a caller capping the engine caps the analyses
+	// too.
+	Workers int
 }
 
 // BuildDataset classifies every run and splits the corpus into the

@@ -117,7 +117,7 @@ func init() {
 	Register("features", "S6: per-vendor feature comparison since 2021",
 		func(ds *Dataset) (any, error) { return RecentFeatures(ds.Comparable, 2021), nil })
 	Register("trends", "Mann-Kendall + Theil-Sen trend tests behind the conclusions",
-		func(ds *Dataset) (any, error) { return PaperTrends(ds.Comparable, 0.10) })
+		func(ds *Dataset) (any, error) { return PaperTrends(ds.Comparable, 0.10, ds.Workers) })
 	Register("ep", "energy proportionality score by year",
 		func(ds *Dataset) (any, error) { return EPByYear(ds.Comparable), nil })
 	Register("confound", "pooled vs within-vendor correlations since 2021",

@@ -3,6 +3,8 @@ package analysis
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/stats"
@@ -72,7 +74,10 @@ func AssessTrend(runs []*model.Run, name string, metric Metric, fromYear, toYear
 // PaperTrends runs the trend tests backing the paper's conclusions:
 // power per socket rising, overall efficiency rising, idle fraction
 // falling to 2017 and rising after, and the idle quotient rising.
-func PaperTrends(comparable []*model.Run, alpha float64) ([]TrendAssessment, error) {
+// The seven tests run concurrently across up to workers goroutines
+// (0 = GOMAXPROCS); the registry passes Dataset.Workers through, so an
+// engine's worker bound caps this fan-out too.
+func PaperTrends(comparable []*model.Run, alpha float64, workers int) ([]TrendAssessment, error) {
 	specs := []struct {
 		name     string
 		metric   Metric
@@ -94,13 +99,40 @@ func PaperTrends(comparable []*model.Run, alpha float64) ([]TrendAssessment, err
 			return math.Abs(1 - r.RelativeEfficiencyAt(70))
 		}, 0, 0},
 	}
-	out := make([]TrendAssessment, 0, len(specs))
-	for _, s := range specs {
-		ta, err := AssessTrend(comparable, s.name, s.metric, s.from, s.to, alpha)
+	// The specs are independent and their per-run Sen-slope and τ scans
+	// are quadratic in corpus size — the single most expensive analysis
+	// of a full report — so they run concurrently. Results stay in spec
+	// order and the lowest-index error wins, keeping the output and the
+	// failure mode deterministic.
+	out := make([]TrendAssessment, len(specs))
+	errs := make([]error, len(specs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				s := specs[i]
+				out[i], errs[i] = AssessTrend(comparable, s.name, s.metric, s.from, s.to, alpha)
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ta)
 	}
 	return out, nil
 }

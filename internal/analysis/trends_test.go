@@ -14,7 +14,7 @@ func TestPaperTrends(t *testing.T) {
 	// significant at any reasonable level; the proportionality
 	// convergence is marginal (p ≈ 0.06 on 20 yearly bins) — fittingly,
 	// since the paper itself hedges that this trend "is not universal".
-	trends, err := PaperTrends(ds.Comparable, 0.10)
+	trends, err := PaperTrends(ds.Comparable, 0.10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// cacheFileName is the default gob parse-cache file inside a corpus
+// directory. It carries no .txt extension, so the corpus lister never
+// picks it up.
+const cacheFileName = ".parse-cache.gob"
+
+// cacheEntry is one cached parse: the file's identity (size + mtime)
+// and the run it parsed to.
+type cacheEntry struct {
+	Size    int64
+	ModTime int64 // UnixNano
+	Run     *model.Run
+}
+
+// CachedSource streams a corpus directory like DirSource but keeps a
+// gob parse cache next to the files (Dir/.parse-cache.gob by default),
+// so repeat ingestion skips the text parser entirely. Entries are
+// keyed by path relative to Dir and invalidated by file size + mtime:
+// modified files are re-parsed, deleted files are pruned on the next
+// successful stream, and cache trouble — missing, corrupt, or
+// unwritable — silently degrades to plain parsing. Ordering,
+// parallelism, and deterministic errors all match DirSource, but NOT
+// its streaming memory bound: the cache holds every run in memory
+// (both the loaded cache and the rewrite under construction), so for
+// corpora larger than memory use DirSource instead.
+type CachedSource struct {
+	Dir string
+	// CachePath overrides the cache file location (default
+	// Dir/.parse-cache.gob).
+	CachePath string
+}
+
+// Name implements Source.
+func (s CachedSource) Name() string { return "cached(" + s.Dir + ")" }
+
+func (s CachedSource) cachePath() string {
+	if s.CachePath != "" {
+		return s.CachePath
+	}
+	return filepath.Join(s.Dir, cacheFileName)
+}
+
+// Each implements Source.
+func (s CachedSource) Each(workers int, yield func(*model.Run) error) error {
+	paths, err := listResultFiles(s.Dir)
+	if err != nil {
+		return err
+	}
+	old := loadParseCache(s.cachePath())
+	var (
+		mu    sync.Mutex
+		fresh = make(map[string]cacheEntry, len(paths))
+		dirty bool
+	)
+	load := func(path string) (*model.Run, error) {
+		rel, err := filepath.Rel(s.Dir, path)
+		if err != nil {
+			rel = path
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("core: stat %s: %w", path, err)
+		}
+		if ent, ok := old[rel]; ok && ent.Size == info.Size() &&
+			ent.ModTime == info.ModTime().UnixNano() {
+			mu.Lock()
+			fresh[rel] = ent
+			mu.Unlock()
+			return ent.Run, nil
+		}
+		r, err := parseResultFile(path)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		fresh[rel] = cacheEntry{Size: info.Size(), ModTime: info.ModTime().UnixNano(), Run: r}
+		dirty = true
+		mu.Unlock()
+		return r, nil
+	}
+	if err := eachLoaded(paths, workers, load, nil, yield); err != nil {
+		return err
+	}
+	// Rewrite only when something changed: a new or re-parsed file, or a
+	// stale entry to prune. Best-effort, like the load side: a read-only
+	// corpus mount must not fail an ingestion that already succeeded —
+	// the next run just parses cold again.
+	if dirty || len(fresh) != len(old) {
+		_ = saveParseCache(s.cachePath(), fresh)
+	}
+	return nil
+}
+
+// loadParseCache reads a cache file; any failure (missing, corrupt,
+// incompatible) yields an empty cache and a full re-parse.
+func loadParseCache(path string) map[string]cacheEntry {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var m map[string]cacheEntry
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		return nil
+	}
+	return m
+}
+
+// saveParseCache writes the cache atomically (temp file + rename), so a
+// crash mid-write leaves the previous cache intact.
+func saveParseCache(path string, m map[string]cacheEntry) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), cacheFileName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: write parse cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := gob.NewEncoder(tmp).Encode(m); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: encode parse cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: write parse cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: write parse cache: %w", err)
+	}
+	return nil
+}

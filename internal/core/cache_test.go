@@ -1,0 +1,177 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// cachedIDs streams the source and returns the IDs in delivery order.
+func cachedIDs(t *testing.T, src Source, workers int) []string {
+	t.Helper()
+	var ids []string
+	if err := src.Each(workers, func(r *model.Run) error {
+		ids = append(ids, r.ID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func TestCachedSourceRoundTrip(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	src := CachedSource{Dir: dir}
+
+	// Cold: parses everything and writes the cache file.
+	cold := cachedIDs(t, src, 4)
+	if len(cold) != len(runs) {
+		t.Fatalf("cold stream yielded %d of %d", len(cold), len(runs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, cacheFileName)); err != nil {
+		t.Fatalf("cache file missing after cold stream: %v", err)
+	}
+
+	// Warm: identical IDs in identical (sorted-path) order, and the same
+	// dataset as an uncached DirSource.
+	warm := cachedIDs(t, src, 4)
+	if len(warm) != len(cold) {
+		t.Fatalf("warm stream yielded %d, cold %d", len(warm), len(cold))
+	}
+	for i := range cold {
+		if warm[i] != cold[i] {
+			t.Fatalf("order differs at %d: %s vs %s", i, warm[i], cold[i])
+		}
+	}
+	cachedDS, err := New(WithSource(src)).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainDS, err := New(WithSource(DirSource{Dir: dir})).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := funnelKey(plainDS), funnelKey(cachedDS); a != b {
+		t.Errorf("funnel differs: dir %v vs cached %v", a, b)
+	}
+}
+
+// TestCachedSourceInvalidation: a modified file must be re-parsed, not
+// served stale from the cache.
+func TestCachedSourceInvalidation(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	src := CachedSource{Dir: dir}
+	_ = cachedIDs(t, src, 0) // warm the cache
+
+	// Corrupt one file. If the entry were served from the cache, the
+	// stream would still succeed; invalidation forces a re-parse, which
+	// fails and names the file.
+	victim := filepath.Join(dir, runs[0].ID+".txt")
+	if err := os.WriteFile(victim, []byte("no longer a report"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Ensure the mtime moves even on coarse-granularity filesystems.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(victim, past, past); err != nil {
+		t.Fatal(err)
+	}
+	err = src.Each(0, func(*model.Run) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), runs[0].ID) {
+		t.Fatalf("modified file served stale: err = %v", err)
+	}
+}
+
+// TestCachedSourcePrunesDeleted: entries for deleted files disappear
+// from both the stream and the rewritten cache.
+func TestCachedSourcePrunesDeleted(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	src := CachedSource{Dir: dir}
+	_ = cachedIDs(t, src, 0)
+	if err := os.Remove(filepath.Join(dir, runs[0].ID+".txt")); err != nil {
+		t.Fatal(err)
+	}
+	after := cachedIDs(t, src, 0)
+	if len(after) != len(runs)-1 {
+		t.Fatalf("stream yielded %d, want %d after deletion", len(after), len(runs)-1)
+	}
+	for _, id := range after {
+		if id == runs[0].ID {
+			t.Fatalf("deleted run %s still streamed", id)
+		}
+	}
+	if m := loadParseCache(filepath.Join(dir, cacheFileName)); m[runs[0].ID+".txt"].Run != nil {
+		t.Error("deleted file's entry survived the cache rewrite")
+	}
+}
+
+// TestCachedSourceCorruptCache: a truncated or garbage cache file
+// degrades to a full re-parse instead of failing.
+func TestCachedSourceCorruptCache(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	cachePath := filepath.Join(dir, cacheFileName)
+	if err := os.WriteFile(cachePath, []byte("gobbledygook"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := CachedSource{Dir: dir}
+	if got := cachedIDs(t, src, 4); len(got) != len(runs) {
+		t.Fatalf("corrupt cache: streamed %d of %d", len(got), len(runs))
+	}
+	// The corrupt file was replaced by a valid cache.
+	if m := loadParseCache(cachePath); len(m) != len(runs) {
+		t.Errorf("rewritten cache holds %d entries, want %d", len(m), len(runs))
+	}
+}
+
+// TestCachedSourceCustomPath: CachePath relocates the cache outside the
+// corpus directory.
+func TestCachedSourceCustomPath(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	cachePath := filepath.Join(t.TempDir(), "elsewhere.gob")
+	src := CachedSource{Dir: dir, CachePath: cachePath}
+	_ = cachedIDs(t, src, 0)
+	if _, err := os.Stat(cachePath); err != nil {
+		t.Fatalf("custom cache path not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, cacheFileName)); !os.IsNotExist(err) {
+		t.Errorf("default cache file should not exist, stat err = %v", err)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func TestFilterSource(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAMD := 0
+	for _, r := range runs {
+		if r.CPUVendor == model.VendorAMD {
+			wantAMD++
+		}
+	}
+	if wantAMD == 0 || wantAMD == len(runs) {
+		t.Fatalf("test corpus needs a vendor mix, got %d/%d AMD", wantAMD, len(runs))
+	}
+	src := FilterSource{
+		Inner: SliceSource(runs),
+		Keep:  func(r *model.Run) bool { return r.CPUVendor == model.VendorAMD },
+		Desc:  "vendor=AMD",
+	}
+	var got int
+	err = src.Each(0, func(r *model.Run) error {
+		if r.CPUVendor != model.VendorAMD {
+			t.Fatalf("non-AMD run %s leaked through the filter", r.ID)
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantAMD {
+		t.Errorf("filter yielded %d runs, want %d", got, wantAMD)
+	}
+	if name := src.Name(); !strings.Contains(name, "vendor=AMD") ||
+		!strings.Contains(name, "slice") {
+		t.Errorf("Name() = %q should describe predicate and inner source", name)
+	}
+	// nil Keep passes everything.
+	all := 0
+	if err := (FilterSource{Inner: SliceSource(runs)}).Each(0,
+		func(*model.Run) error { all++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if all != len(runs) {
+		t.Errorf("nil Keep yielded %d of %d", all, len(runs))
+	}
+}
+
+func TestMergeSource(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(runs) / 2
+	src := MergeSource{SliceSource(runs[:half]), SliceSource(runs[half:])}
+	var ids []string
+	if err := src.Each(0, func(r *model.Run) error {
+		ids = append(ids, r.ID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(runs) {
+		t.Fatalf("merged %d of %d runs", len(ids), len(runs))
+	}
+	// Concatenation order is deterministic: first source fully drained,
+	// then the second.
+	for i, r := range runs {
+		if ids[i] != r.ID {
+			t.Fatalf("order differs at %d: %s vs %s", i, ids[i], r.ID)
+		}
+	}
+	if name := src.Name(); !strings.HasPrefix(name, "merge(") ||
+		!strings.Contains(name, " + ") {
+		t.Errorf("Name() = %q", name)
+	}
+	// A yield error stops the whole merged stream.
+	stop := errors.New("stop")
+	n := 0
+	err = src.Each(0, func(*model.Run) error {
+		n++
+		if n == half+2 { // inside the second source
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) || n != half+2 {
+		t.Fatalf("err=%v after %d yields, want stop after %d", err, n, half+2)
+	}
+	// The merged engine classifies the same dataset as one big slice.
+	merged, err := New(WithSource(src)).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := New(WithSource(SliceSource(runs))).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := funnelKey(direct), funnelKey(merged); a != b {
+		t.Errorf("funnel differs: direct %v vs merged %v", a, b)
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	run := func(vendor model.CPUVendor, osf model.OSFamily, year int) *model.Run {
+		return &model.Run{CPUVendor: vendor, OSFamily: osf,
+			HWAvail: model.YM(year, time.June)}
+	}
+	amd2022 := run(model.VendorAMD, model.OSLinux, 2022)
+	intel2010 := run(model.VendorIntel, model.OSWindows, 2010)
+	intel2020 := run(model.VendorIntel, model.OSLinux, 2020)
+
+	cases := []struct {
+		expr string
+		want map[*model.Run]bool
+	}{
+		{"vendor=AMD", map[*model.Run]bool{amd2022: true, intel2010: false}},
+		{"vendor=amd|INTEL", map[*model.Run]bool{amd2022: true, intel2010: true}},
+		{"os=Linux", map[*model.Run]bool{amd2022: true, intel2010: false}},
+		{"year=2010", map[*model.Run]bool{intel2010: true, intel2020: false}},
+		{"year=2018-2022", map[*model.Run]bool{amd2022: true, intel2020: true, intel2010: false}},
+		{"since=2020", map[*model.Run]bool{amd2022: true, intel2020: true, intel2010: false}},
+		{"vendor=Intel, since=2015", map[*model.Run]bool{intel2020: true, intel2010: false, amd2022: false}},
+	}
+	for _, c := range cases {
+		keep, err := ParseFilter(c.expr)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q): %v", c.expr, err)
+		}
+		for r, want := range c.want {
+			if got := keep(r); got != want {
+				t.Errorf("filter %q on %s/%s/%d = %v, want %v",
+					c.expr, r.CPUVendor, r.OSFamily, r.HWAvail.Year, got, want)
+			}
+		}
+	}
+
+	for _, bad := range []string{
+		"", "   ", "vendor", "color=red", "year=abc", "year=2022-2018",
+		"since=soon", "vendor=", "os=",
+	} {
+		if _, err := ParseFilter(bad); err == nil {
+			t.Errorf("ParseFilter(%q) should fail", bad)
+		}
+	}
+}
+
+// TestFilterSourceEngineSlice: the canonical use — an engine over a
+// per-vendor slice of a directory corpus.
+func TestFilterSourceEngineSlice(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := ParseFilter("vendor=AMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := New(WithSource(FilterSource{
+		Inner: SliceSource(runs), Keep: keep, Desc: "vendor=AMD",
+	})).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Raw) == 0 {
+		t.Fatal("AMD slice is empty")
+	}
+	for _, r := range ds.Raw {
+		if r.CPUVendor != model.VendorAMD {
+			t.Fatalf("run %s is %s, want AMD", r.ID, r.CPUVendor)
+		}
+	}
+}

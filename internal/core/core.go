@@ -20,9 +20,14 @@
 //
 // DirSource streams: result files are parsed by a bounded worker pool
 // and classified as they arrive, so corpora far larger than the
-// paper's 1017 runs never need to fit in memory at once. The eager
-// Study type and its constructors remain as deprecated shims over the
-// Engine.
+// paper's 1017 runs never need to fit in memory at once. CachedSource
+// adds a gob parse cache next to the corpus so repeat ingestion skips
+// the parser, and FilterSource/MergeSource compose sources into corpus
+// scenarios (per-vendor slices, merged directories, …). Run, WriteJSON,
+// and WriteReport fan independent analyses out across the same worker
+// bound, so a full report costs max(analysis) rather than
+// sum(analysis). The eager Study type and its constructors remain as
+// deprecated shims over the Engine.
 package core
 
 import (

@@ -50,8 +50,9 @@ func WithSource(s Source) Option {
 	return func(e *Engine) { e.src = s }
 }
 
-// WithWorkers bounds the parallelism of streaming sources
-// (0 = GOMAXPROCS).
+// WithWorkers bounds the engine's parallelism — both the streaming
+// source's parser pool and the analysis fan-out of Run, WriteJSON, and
+// WriteReport (0 = GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
 }
@@ -96,6 +97,9 @@ func (e *Engine) Dataset() (*analysis.Dataset, error) {
 			return
 		}
 		e.ds = b.Dataset()
+		// Analyses with internal parallelism (e.g. the trend tests)
+		// honor the same worker bound as the engine itself.
+		e.ds.Workers = e.workers
 	})
 	return e.ds, e.dsErr
 }
@@ -172,15 +176,22 @@ type Result struct {
 }
 
 // Run computes the named analyses (all registered ones when names is
-// empty, in registration order) and returns them in request order.
-// Results are memoized: re-running a name is free.
+// empty, in registration order) concurrently across the engine's worker
+// pool and returns them in request order. The memo cache makes the
+// fan-out safe — each analysis still runs at most once per engine, with
+// a full report costing max(analysis) wall-clock instead of
+// sum(analysis) — and errors stay deterministic: the lowest-index
+// failure wins, matching forEachParallel. Re-running a name is free.
 func (e *Engine) Run(names ...string) ([]Result, error) {
 	if len(names) == 0 {
 		names = analysis.Names()
 	}
+	if err := e.compute(names, nil); err != nil {
+		return nil, err
+	}
 	out := make([]Result, 0, len(names))
 	for _, name := range names {
-		v, err := e.Analysis(name)
+		v, err := e.Analysis(name) // memoized by compute: a cache read
 		if err != nil {
 			return nil, err
 		}
@@ -188,6 +199,21 @@ func (e *Engine) Run(names ...string) ([]Result, error) {
 		out = append(out, Result{Name: name, Description: reg.Description, Value: v})
 	}
 	return out, nil
+}
+
+// compute fans the named analyses out across a bounded worker pool
+// (e.workers, 0 = GOMAXPROCS) and populates the memo cache. Names in
+// optional still warm the cache but do not fail the batch. Corpus
+// ingestion happens once: the first worker to need the dataset pays for
+// it inside dsOnce while the others block on the same sync.Once.
+func (e *Engine) compute(names []string, optional map[string]bool) error {
+	return forEachParallel(len(names), e.workers, func(i int) error {
+		_, err := e.Analysis(names[i])
+		if optional[names[i]] {
+			return nil
+		}
+		return err
+	})
 }
 
 // WriteJSON runs the named analyses (empty = all) and writes them as an

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -181,6 +183,129 @@ func (c countingSource) Name() string { return "counting(" + c.inner.Name() + ")
 func (c countingSource) Each(workers int, yield func(*model.Run) error) error {
 	c.streams.Add(1)
 	return c.inner.Each(workers, yield)
+}
+
+// TestEngineConcurrentHammer drives one engine from many goroutines
+// mixing Analysis, Run, and Dataset calls (run under -race in CI) and
+// asserts the exactly-once contract holds anyway: one corpus stream,
+// one probe computation.
+func TestEngineConcurrentHammer(t *testing.T) {
+	registerMemoProbe()
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streams atomic.Int64
+	eng := New(WithSource(countingSource{inner: SliceSource(runs), streams: &streams}))
+	before := memoProbeCalls.Load()
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*3)
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			if _, err := eng.Analysis("test_memo_probe"); err != nil {
+				errs <- err
+			}
+			results, err := eng.Run("fig3", "funnel", "test_memo_probe")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(results) != 3 || results[0].Name != "fig3" ||
+				results[1].Name != "funnel" || results[2].Name != "test_memo_probe" {
+				errs <- fmt.Errorf("goroutine %d: results out of request order: %+v", g, results)
+			}
+			if _, err := eng.Dataset(); err != nil {
+				errs <- err
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := memoProbeCalls.Load() - before; got != 1 {
+		t.Errorf("probe analysis computed %d times under concurrency, want exactly 1", got)
+	}
+	if got := streams.Load(); got != 1 {
+		t.Errorf("source streamed %d times under concurrency, want exactly 1", got)
+	}
+}
+
+// TestEngineRunParallelDeterministicError: with several unknown names in
+// one parallel batch, the lowest-index failure wins every time.
+func TestEngineRunParallelDeterministicError(t *testing.T) {
+	eng := smallEngine(t)
+	for round := 0; round < 10; round++ {
+		_, err := eng.Run("fig3", "nope_a", "funnel", "nope_b", "nope_c")
+		var unknown *UnknownAnalysisError
+		if !errors.As(err, &unknown) || unknown.Name != "nope_a" {
+			t.Fatalf("round %d: err = %v, want UnknownAnalysisError for nope_a", round, err)
+		}
+	}
+}
+
+// TestEngineWorkerBoundThreadsToDataset: WithWorkers must reach
+// analyses with internal parallelism via Dataset.Workers.
+func TestEngineWorkerBoundThreadsToDataset(t *testing.T) {
+	ds, err := New(WithSource(SliceSource(nil)), WithWorkers(3)).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Workers != 3 {
+		t.Errorf("Dataset.Workers = %d, want the engine's bound 3", ds.Workers)
+	}
+}
+
+// TestReportAnalysesRegistered pins the warm-up list to the registry:
+// every name WriteReport pre-computes must exist, and every registered
+// corpus analysis the report renders must be pre-computed (a missing
+// entry silently degrades the parallel warm-up to sequential renders).
+func TestReportAnalysesRegistered(t *testing.T) {
+	warm := map[string]bool{}
+	for _, name := range reportAnalyses {
+		if _, ok := analysis.Lookup(name); !ok {
+			t.Errorf("reportAnalyses lists %q, which is not registered", name)
+		}
+		warm[name] = true
+	}
+	for _, name := range []string{"funnel", "submissions", "fig1", "fig2",
+		"growth", "fig3", "top100", "fig4", "fig5", "idlehistory",
+		"changepoint", "fig6", "features", "trends", "ep", "confound",
+		"table1"} {
+		if !warm[name] {
+			t.Errorf("report section %q missing from the warm-up list", name)
+		}
+	}
+}
+
+// TestCachedSourceUnwritableCache: a cache that cannot be written is
+// best-effort — ingestion that already succeeded must not fail.
+func TestCachedSourceUnwritableCache(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	src := CachedSource{Dir: dir,
+		CachePath: filepath.Join(t.TempDir(), "missing", "sub", "c.gob")}
+	n := 0
+	if err := src.Each(0, func(*model.Run) error { n++; return nil }); err != nil {
+		t.Fatalf("unwritable cache failed the stream: %v", err)
+	}
+	if n != len(runs) {
+		t.Errorf("streamed %d of %d", n, len(runs))
+	}
 }
 
 func TestAnalysisAsTypeMismatch(t *testing.T) {

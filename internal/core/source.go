@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -83,17 +84,24 @@ type DirSource struct {
 // Name implements Source.
 func (s DirSource) Name() string { return "dir(" + s.Dir + ")" }
 
-// listResultFiles returns the sorted *.txt paths under dir.
+// listResultFiles returns the sorted result-file paths under dir,
+// recursing into subdirectories so sharded corpus layouts
+// (corpus/2023/….txt) work. The extension match is case-insensitive
+// (.txt, .TXT, …). Paths are sorted as full strings, so the stream
+// order is deterministic regardless of layout.
 func listResultFiles(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+	var paths []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.EqualFold(filepath.Ext(d.Name()), ".txt") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: read corpus dir: %w", err)
-	}
-	var paths []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
-			paths = append(paths, filepath.Join(dir, e.Name()))
-		}
 	}
 	sort.Strings(paths)
 	return paths, nil
@@ -121,19 +129,28 @@ func (s DirSource) Each(workers int, yield func(*model.Run) error) error {
 	if err != nil {
 		return err
 	}
+	return eachLoaded(paths, workers, parseResultFile, s.trackHeld, yield)
+}
+
+// eachLoaded streams load(path) for every path, in slice order, across
+// a bounded worker pool — the shared machinery behind DirSource and
+// CachedSource. The streaming bound holds regardless of the load
+// function: at most workers loaded-but-unconsumed runs exist at any
+// time, and the first error in path order wins.
+func eachLoaded(paths []string, workers int, load func(string) (*model.Run, error),
+	track func(delta int), yield func(*model.Run) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(paths) {
 		workers = len(paths)
 	}
-	track := s.trackHeld
 	if track == nil {
 		track = func(int) {}
 	}
 	if workers <= 1 {
 		for _, p := range paths {
-			r, err := parseResultFile(p)
+			r, err := load(p)
 			if err != nil {
 				return err
 			}
@@ -188,7 +205,7 @@ func (s DirSource) Each(workers int, yield func(*model.Run) error) error {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				r, err := parseResultFile(j.path)
+				r, err := load(j.path)
 				if err == nil {
 					track(+1)
 				}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -147,6 +148,71 @@ func TestDirSourceStreamingBound(t *testing.T) {
 	}
 	if held.Load() != 0 {
 		t.Errorf("source still holds %d runs after Each returned", held.Load())
+	}
+}
+
+// TestDirSourceNestedCorpus: sharded layouts (files split across
+// subdirectories, mixed-case extensions) stream completely and
+// deterministically.
+func TestDirSourceNestedCorpus(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := t.TempDir()
+	if err := WriteCorpus(flat, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Shard the flat corpus into nested/<i%3>/, uppercasing every third
+	// extension, with a decoy non-result file alongside.
+	nested := t.TempDir()
+	files, err := filepath.Glob(filepath.Join(flat, "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range files {
+		shard := filepath.Join(nested, fmt.Sprint(i%3))
+		if err := os.MkdirAll(shard, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Base(f)
+		if i%3 == 0 {
+			name = strings.TrimSuffix(name, ".txt") + ".TXT"
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(shard, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(nested, "README.md"), []byte("not a result"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	collect := func(workers int) map[string]bool {
+		ids := map[string]bool{}
+		err := DirSource{Dir: nested}.Each(workers, func(r *model.Run) error {
+			ids[r.ID] = true
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+	got := collect(4)
+	if len(got) != len(runs) {
+		t.Fatalf("nested corpus yielded %d of %d runs", len(got), len(runs))
+	}
+	for _, r := range runs {
+		if !got[r.ID] {
+			t.Errorf("run %s missing from nested stream", r.ID)
+		}
+	}
+	// Sequential and parallel walks agree.
+	if seq := collect(1); len(seq) != len(got) {
+		t.Errorf("sequential walk yielded %d, parallel %d", len(seq), len(got))
 	}
 }
 

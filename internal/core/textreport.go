@@ -59,13 +59,40 @@ var trendYLabels = map[string]string{
 	"fig6": "extrapolated/measured",
 }
 
+// reportAnalyses lists every analysis the terminal report renders, in
+// section order. WriteReport warms them all concurrently before the
+// first byte is written.
+var reportAnalyses = []string{
+	"funnel", "submissions", "fig1", "fig2", "growth", "fig3", "top100",
+	"fig4", "fig5", "idlehistory", "changepoint", "fig6", "features",
+	"trends", "ep", "confound", "table1",
+}
+
 // WriteReport prints the full study — funnel, all six figures, Table I
 // and the in-text statistics — as a terminal report. Every section is
-// pulled through the engine's memoized analysis cache, so a report
-// after targeted Run calls only computes what is still missing.
+// pulled through the engine's memoized analysis cache, which WriteReport
+// first populates concurrently across the worker pool: the sequential
+// render pass below then only reads cached results, so a full report
+// costs max(analysis) wall-clock, and a report after targeted Run calls
+// only computes what is still missing.
 func (e *Engine) WriteReport(w io.Writer) error {
 	// Surface source errors before any section is printed.
 	if _, err := e.Dataset(); err != nil {
+		return err
+	}
+	// The changepoint section is best-effort (it needs enough yearly
+	// bins), so its error must not fail the report — matching the
+	// err == nil guard at its render site. Unregistered names are
+	// dropped rather than failed: a stale warm-list entry only loses
+	// pre-warming, it must not break a report no render site needs it
+	// for (TestReportAnalysesRegistered guards the list against drift).
+	warm := reportAnalyses[:0:0]
+	for _, name := range reportAnalyses {
+		if _, ok := analysis.Lookup(name); ok {
+			warm = append(warm, name)
+		}
+	}
+	if err := e.compute(warm, map[string]bool{"changepoint": true}); err != nil {
 		return err
 	}
 	sectionHdr := func(title string) {

@@ -82,12 +82,7 @@ func ASCIIBars(labels []string, values []float64, ax Axes) string {
 	if hi <= 0 {
 		hi = 1
 	}
-	labelW := 0
-	for _, l := range labels {
-		if len(l) > labelW {
-			labelW = len(l)
-		}
-	}
+	labelW := labelWidth(labels)
 	var b strings.Builder
 	if ax.Title != "" {
 		fmt.Fprintf(&b, "%s\n", ax.Title)
@@ -101,7 +96,7 @@ func ASCIIBars(labels []string, values []float64, ax Axes) string {
 		if i < len(labels) {
 			label = labels[i]
 		}
-		fmt.Fprintf(&b, "%-*s |%s %s\n", labelW, label,
+		fmt.Fprintf(&b, "%s |%s %s\n", padLabel(label, labelW),
 			strings.Repeat("=", bar), fmtTick(v))
 	}
 	return b.String()
@@ -119,12 +114,7 @@ func ASCIIBoxes(labels []string, boxes []stats.BoxStats, ax Axes) string {
 	if ax.YMax > ax.YMin {
 		lo, hi = ax.YMin, ax.YMax
 	}
-	labelW := 0
-	for _, l := range labels {
-		if len(l) > labelW {
-			labelW = len(l)
-		}
-	}
+	labelW := labelWidth(labels)
 	var b strings.Builder
 	if ax.Title != "" {
 		fmt.Fprintf(&b, "%s\n", ax.Title)
@@ -165,9 +155,9 @@ func ASCIIBoxes(labels []string, boxes []stats.BoxStats, ax Axes) string {
 		if i < len(labels) {
 			label = labels[i]
 		}
-		fmt.Fprintf(&b, "%-*s %s (n=%d)\n", labelW, label, string(row), bx.N)
+		fmt.Fprintf(&b, "%s %s (n=%d)\n", padLabel(label, labelW), string(row), bx.N)
 	}
-	fmt.Fprintf(&b, "%-*s %s … %s\n", labelW, "scale:", fmtTick(lo), fmtTick(hi))
+	fmt.Fprintf(&b, "%s %s … %s\n", padLabel("scale:", labelW), fmtTick(lo), fmtTick(hi))
 	return b.String()
 }
 
@@ -201,9 +191,16 @@ func (g *grid) set(x, y int, c byte) {
 	g.cells[g.h-y][x] = c // y grows upward
 }
 
+// scale maps v ∈ [lo, hi] to a grid column in [0, n]. NaN values have
+// no position (-1, off-grid). A degenerate range (hi <= lo, e.g. a
+// constant-valued series under a forced axis) centers every point
+// instead of dropping it, so the plot still shows the data.
 func scale(v, lo, hi float64, n int) int {
-	if hi <= lo || math.IsNaN(v) {
+	if math.IsNaN(v) {
 		return -1
+	}
+	if hi <= lo {
+		return n / 2
 	}
 	return int((v - lo) / (hi - lo) * float64(n))
 }

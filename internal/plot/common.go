@@ -3,6 +3,8 @@ package plot
 import (
 	"fmt"
 	"math"
+	"strings"
+	"unicode/utf8"
 )
 
 // Pt is one scatter point. Class selects the marker/colour and indexes
@@ -80,6 +82,30 @@ func fmtTick(v float64) string {
 	default:
 		return fmt.Sprintf("%.2g", v)
 	}
+}
+
+// labelWidth returns the widest label in runes. Byte length (len)
+// over-counts multibyte labels and misaligns every column after them.
+// Rune count is still an approximation of terminal cells — East Asian
+// wide glyphs occupy two — but fixing that needs Unicode width tables;
+// runes cover the common accented/Cyrillic/Greek cases exactly.
+func labelWidth(labels []string) int {
+	w := 0
+	for _, l := range labels {
+		if n := utf8.RuneCountInString(l); n > w {
+			w = n
+		}
+	}
+	return w
+}
+
+// padLabel right-pads s with spaces to w runes. fmt's %-*s pads by
+// bytes, so multibyte labels would come up short.
+func padLabel(s string, w int) string {
+	if n := w - utf8.RuneCountInString(s); n > 0 {
+		return s + strings.Repeat(" ", n)
+	}
+	return s
 }
 
 // markers are the ASCII glyphs per class.

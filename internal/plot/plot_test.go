@@ -78,6 +78,120 @@ func TestASCIIBoxes(t *testing.T) {
 	}
 }
 
+// TestScaleDegenerateRange: a degenerate range must center points on
+// the grid, not drop them off-grid at -1 (which silently emptied any
+// constant-valued plot).
+func TestScaleDegenerateRange(t *testing.T) {
+	if got := scale(5, 5, 5, 40); got != 20 {
+		t.Errorf("scale on zero-width range = %d, want centered 20", got)
+	}
+	if got := scale(1, 7, 3, 40); got != 20 {
+		t.Errorf("scale on inverted range = %d, want centered 20", got)
+	}
+	if got := scale(math.NaN(), 0, 10, 40); got != -1 {
+		t.Errorf("scale(NaN) = %d, want off-grid -1", got)
+	}
+	if got := scale(2.5, 0, 10, 40); got != 10 {
+		t.Errorf("scale(2.5, 0, 10, 40) = %d, want 10", got)
+	}
+}
+
+// TestASCIIConstantSeries: a single-year / constant-valued figure must
+// still render its markers.
+func TestASCIIConstantSeries(t *testing.T) {
+	out := ASCIIScatter([]Pt{{X: 2020, Y: 42}, {X: 2020, Y: 42, Class: 1}},
+		Axes{Width: 30, Height: 8})
+	if !strings.Contains(out, "x") && !strings.Contains(out, "o") {
+		t.Errorf("constant scatter rendered empty:\n%s", out)
+	}
+	out = ASCIILines([]Series{
+		{Name: "flat", X: []float64{2020, 2021, 2022}, Y: []float64{5, 5, 5}},
+	}, Axes{Width: 30, Height: 8})
+	if !strings.Contains(out, "x") {
+		t.Errorf("constant line rendered empty:\n%s", out)
+	}
+	boxes := []stats.BoxStats{stats.Box([]float64{1, 1, 1, 1})}
+	out = ASCIIBoxes([]string{"2020"}, boxes, Axes{Width: 30})
+	if !strings.Contains(out, "M") {
+		t.Errorf("constant box rendered empty:\n%s", out)
+	}
+}
+
+// TestASCIIEmptyAndNaN: empty and all-NaN inputs must not panic and
+// still produce a frame.
+func TestASCIIEmptyAndNaN(t *testing.T) {
+	nan := math.NaN()
+	for name, out := range map[string]string{
+		"empty-lines":  ASCIILines(nil, Axes{Width: 20, Height: 5}),
+		"empty-series": ASCIILines([]Series{{Name: "void"}}, Axes{Width: 20, Height: 5}),
+		"nan-lines": ASCIILines([]Series{
+			{Name: "nan", X: []float64{1, 2}, Y: []float64{nan, nan}},
+		}, Axes{Width: 20, Height: 5}),
+		"nan-scatter": ASCIIScatter([]Pt{{X: nan, Y: nan}, {X: nan, Y: nan}},
+			Axes{Width: 20, Height: 5}),
+		"empty-bars":    ASCIIBars(nil, nil, Axes{Title: "empty", Width: 20}),
+		"empty-stacked": ASCIIStacked(nil, nil, Axes{Title: "empty", Width: 20}),
+	} {
+		if out == "" {
+			t.Errorf("%s produced no output at all", name)
+		}
+		if strings.Contains(out, "NaN") {
+			t.Errorf("%s leaked NaN into output:\n%s", name, out)
+		}
+	}
+}
+
+// barStarts returns, per chart row, the rune index of the first glyph
+// from the sep set; rows without one are skipped.
+func barStarts(t *testing.T, out, sep string) []int {
+	t.Helper()
+	var cols []int
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		col, found := 0, false
+		for _, r := range line {
+			if strings.ContainsRune(sep, r) {
+				found = true
+				break
+			}
+			col++
+		}
+		if found {
+			cols = append(cols, col)
+		}
+	}
+	return cols
+}
+
+// TestASCIIMultibyteLabels: multibyte labels must not shift the columns
+// of bar, box, or stacked charts (len counts bytes, not runes).
+func TestASCIIMultibyteLabels(t *testing.T) {
+	labels := []string{"año", "東京", "plain"}
+	assertAligned := func(name, out, sep string) {
+		t.Helper()
+		cols := barStarts(t, out, sep)
+		if len(cols) < len(labels) {
+			t.Fatalf("%s: found %d rows, want ≥ %d:\n%s", name, len(cols), len(labels), out)
+		}
+		for i, c := range cols {
+			if c != cols[0] {
+				t.Errorf("%s: row %d starts at rune %d, row 0 at %d — labels misaligned:\n%s",
+					name, i, c, cols[0], out)
+			}
+		}
+	}
+	assertAligned("bars", ASCIIBars(labels, []float64{3, 2, 1}, Axes{Width: 20}), "|")
+	// Identical box stats per row: the whisker glyphs land on the same
+	// chart columns, so any drift comes from label padding.
+	box := stats.Box([]float64{1, 2, 3})
+	assertAligned("boxes",
+		ASCIIBoxes(labels, []stats.BoxStats{box, box, box}, Axes{Width: 20}), "-=[]M|")
+	rows := make([]StackedRow, len(labels))
+	for i, l := range labels {
+		rows[i] = StackedRow{Label: l, Shares: map[string]float64{"a": 0.5, "b": 0.5}}
+	}
+	assertAligned("stacked", ASCIIStacked(rows, []string{"a", "b"}, Axes{Width: 20}), "|")
+}
+
 func TestSVGScatterWellFormed(t *testing.T) {
 	out := SVGScatter(scatterPts(), Axes{
 		Title: "Overall <efficiency> & more", Width: 80, Height: 30,

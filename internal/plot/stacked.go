@@ -17,12 +17,11 @@ type StackedRow struct {
 // marker of its index.
 func ASCIIStacked(rows []StackedRow, categories []string, ax Axes) string {
 	ax = ax.sized()
-	labelW := 0
-	for _, r := range rows {
-		if len(r.Label) > labelW {
-			labelW = len(r.Label)
-		}
+	labels := make([]string, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Label
 	}
+	labelW := labelWidth(labels)
 	var b strings.Builder
 	if ax.Title != "" {
 		fmt.Fprintf(&b, "%s\n", ax.Title)
@@ -38,9 +37,9 @@ func ASCIIStacked(rows []StackedRow, categories []string, ax Axes) string {
 		for len(bar) < ax.Width {
 			bar = append(bar, ' ')
 		}
-		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, r.Label, bar)
+		fmt.Fprintf(&b, "%s |%s|\n", padLabel(r.Label, labelW), bar)
 	}
-	fmt.Fprintf(&b, "%-*s %s\n", labelW, "", legendASCII(categories))
+	fmt.Fprintf(&b, "%s %s\n", padLabel("", labelW), legendASCII(categories))
 	return b.String()
 }
 
