@@ -10,6 +10,8 @@ package repro
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/ptd"
 	"repro/internal/report"
 	"repro/internal/sert"
+	"repro/internal/serve"
 	"repro/internal/speccpu"
 	"repro/internal/ssj"
 	"repro/internal/stats"
@@ -550,6 +553,63 @@ func BenchmarkCachedIngest(b *testing.B) {
 			eng := core.New(core.WithSource(src))
 			if _, err := eng.Dataset(); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeAnalysis (D10): one analysis request through the HTTP
+// serving stack. cold-scope pays for everything — engine build, corpus
+// ingestion, the analysis itself — on a fresh server each iteration;
+// warm-scope hits a resident scope engine, so the request is a memo
+// read plus JSON encoding (≥10× faster than cold); warm-etag-304
+// revalidates with If-None-Match and transfers nothing at all.
+func BenchmarkServeAnalysis(b *testing.B) {
+	newServer := func() *serve.Server {
+		return serve.New(serve.Config{
+			Base: core.SynthSource{Options: synth.DefaultOptions()},
+		})
+	}
+	request := func(b *testing.B, srv *serve.Server, etag string) *httptest.ResponseRecorder {
+		b.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/v1/analyses/fig3", nil)
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+	b.Run("cold-scope", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rec := request(b, newServer(), ""); rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+	b.Run("warm-scope", func(b *testing.B) {
+		srv := newServer()
+		if rec := request(b, srv, ""); rec.Code != http.StatusOK {
+			b.Fatalf("priming status %d", rec.Code)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec := request(b, srv, ""); rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+	b.Run("warm-etag-304", func(b *testing.B) {
+		srv := newServer()
+		prime := request(b, srv, "")
+		etag := prime.Header().Get("ETag")
+		if prime.Code != http.StatusOK || etag == "" {
+			b.Fatalf("priming status %d etag %q", prime.Code, etag)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec := request(b, srv, etag); rec.Code != http.StatusNotModified {
+				b.Fatalf("status %d", rec.Code)
 			}
 		}
 	})

@@ -10,7 +10,9 @@
 // repeat runs skip the text parser; -filter slices the corpus with a
 // predicate expression ("vendor=AMD,since=2021" — see core.ParseFilter).
 // -only selects individual analyses by registry name (see -list);
-// -json switches to machine-readable output.
+// -json switches to machine-readable output. The corpus flags are
+// shared with specserve (internal/cliutil), which serves the same
+// analyses over HTTP instead of a one-shot report.
 //
 // Usage:
 //
@@ -24,55 +26,17 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/synth"
 )
-
-// multiFlag collects repeated -in values.
-type multiFlag []string
-
-func (m *multiFlag) String() string { return strings.Join(*m, ",") }
-
-func (m *multiFlag) Set(v string) error {
-	// An empty -in (e.g. an unset shell variable) falls through to the
-	// default in-memory corpus, as the usage string promises.
-	if v != "" {
-		*m = append(*m, v)
-	}
-	return nil
-}
-
-// sourceFor builds the source for one -in value: a corpus directory
-// (cached when asked) or "synth:<seed>".
-func sourceFor(in string, cache bool) (core.Source, error) {
-	if spec, ok := strings.CutPrefix(in, "synth:"); ok {
-		seed, err := strconv.ParseInt(spec, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("-in %q: synth seed must be an integer", in)
-		}
-		opt := synth.DefaultOptions()
-		opt.Seed = seed
-		return core.SynthSource{Options: opt}, nil
-	}
-	if cache {
-		return core.CachedSource{Dir: in}, nil
-	}
-	return core.DirSource{Dir: in}, nil
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("specanalyze: ")
-	var ins multiFlag
-	flag.Var(&ins, "in", "corpus directory or synth:<seed>; repeatable, merged in order (empty = generate in memory)")
-	seed := flag.Int64("seed", synth.DefaultSeed, "seed when generating in memory")
-	workers := flag.Int("workers", 0, "parallel parsers and analyses (0 = GOMAXPROCS)")
-	cache := flag.Bool("cache", false, "keep a gob parse cache next to each corpus directory")
-	filter := flag.String("filter", "", "corpus slice, e.g. \"vendor=AMD,since=2021\" (keys: vendor, os, year, since)")
+	corpus := cliutil.RegisterCorpusFlags(flag.CommandLine)
 	only := flag.String("only", "", "comma-separated analysis names to run (empty = full report)")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of text")
 	list := flag.Bool("list", false, "list registered analyses and exit")
@@ -86,37 +50,11 @@ func main() {
 		return
 	}
 
-	var src core.Source
-	switch len(ins) {
-	case 0:
-		opt := synth.DefaultOptions()
-		opt.Seed = *seed
-		src = core.SynthSource{Options: opt}
-	case 1:
-		s, err := sourceFor(ins[0], *cache)
-		if err != nil {
-			log.Fatal(err)
-		}
-		src = s
-	default:
-		merged := make(core.MergeSource, len(ins))
-		for i, in := range ins {
-			s, err := sourceFor(in, *cache)
-			if err != nil {
-				log.Fatal(err)
-			}
-			merged[i] = s
-		}
-		src = merged
+	src, err := corpus.Source()
+	if err != nil {
+		log.Fatal(err)
 	}
-	if *filter != "" {
-		keep, err := core.ParseFilter(*filter)
-		if err != nil {
-			log.Fatal(err)
-		}
-		src = core.FilterSource{Inner: src, Keep: keep, Desc: *filter}
-	}
-	eng := core.New(core.WithSource(src), core.WithWorkers(*workers))
+	eng := core.New(core.WithSource(src), core.WithWorkers(corpus.Workers))
 
 	var names []string
 	if *only != "" {

@@ -1,0 +1,95 @@
+// Command specserve serves the analysis registry over HTTP: a
+// long-running daemon over the same corpus flags as specanalyze
+// (internal/cliutil), exposing
+//
+//	GET /healthz                      liveness
+//	GET /v1/analyses                  registry listing
+//	GET /v1/analyses/{name}?filter=   one analysis over a corpus slice
+//	GET /v1/report?filter=            the full text report
+//	GET /v1/stats                     serving metrics
+//
+// Each distinct ?filter= scope gets its own lazily built, memoized
+// engine from an LRU-bounded pool (single-flight construction, shared
+// ingestion), and responses carry strong ETags so repeat traffic is
+// answered 304 Not Modified without recomputation — see internal/serve.
+// The -filter flag pre-slices the corpus every request sees;
+// per-request ?filter= expressions compose on top of it.
+//
+// Usage:
+//
+//	specserve [-addr :8080] [-in corpus/]... [-cache] [-workers 8]
+//	          [-filter expr] [-pool 32] [-max-inflight 64] [-warm]
+//
+// The server drains in-flight requests and exits cleanly on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", serve.DefaultPoolSize, "max resident scope engines (LRU-evicted beyond)")
+	inflight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "max concurrently served requests")
+	warm := flag.Bool("warm", false, "ingest the whole-corpus scope before accepting traffic")
+	corpus := cliutil.RegisterCorpusFlags(flag.CommandLine)
+	flag.Parse()
+
+	src, err := corpus.Source()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(serve.Config{
+		Base:        src,
+		Workers:     corpus.Workers,
+		PoolSize:    *pool,
+		MaxInFlight: *inflight,
+		Logf:        log.Printf,
+	})
+	if *warm {
+		log.Printf("warming corpus %s", src.Name())
+		if err := srv.Warm(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("serving %s on %s", src.Name(), *addr)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure (Shutdown is the other
+		// path out), so any error here is fatal.
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("signal received, draining")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

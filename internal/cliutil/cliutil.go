@@ -1,0 +1,114 @@
+// Package cliutil holds the corpus flag wiring shared by the command
+// line tools: specanalyze and specserve accept the same
+// -in/-seed/-workers/-cache/-filter flags, and both build their
+// core.Source through the same helper, so the binaries cannot drift.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// CorpusFlags collects the shared corpus-selection flags after
+// flag.Parse. Zero values select the default in-memory synthetic
+// corpus.
+type CorpusFlags struct {
+	// Ins are the -in values in order: corpus directories and
+	// "synth:<seed>" specs, merged into one stream.
+	Ins []string
+	// Seed generates the in-memory corpus when Ins is empty.
+	Seed int64
+	// Workers bounds parsing and analysis parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Cache keeps a gob parse cache next to each corpus directory.
+	Cache bool
+	// Filter slices the corpus with a core.ParseFilter expression.
+	Filter string
+}
+
+// insFlag adapts CorpusFlags.Ins to flag.Value for repeatable -in.
+type insFlag CorpusFlags
+
+func (f *insFlag) String() string { return strings.Join(f.Ins, ",") }
+
+func (f *insFlag) Set(v string) error {
+	// An empty -in (e.g. an unset shell variable) falls through to the
+	// default in-memory corpus, as the usage string promises.
+	if v != "" {
+		f.Ins = append(f.Ins, v)
+	}
+	return nil
+}
+
+// RegisterCorpusFlags installs the shared corpus flags on fs (use
+// flag.CommandLine in main) and returns the struct they populate.
+func RegisterCorpusFlags(fs *flag.FlagSet) *CorpusFlags {
+	c := &CorpusFlags{}
+	fs.Var((*insFlag)(c), "in", "corpus directory or synth:<seed>; repeatable, merged in order (empty = generate in memory)")
+	fs.Int64Var(&c.Seed, "seed", synth.DefaultSeed, "seed when generating in memory")
+	fs.IntVar(&c.Workers, "workers", 0, "parallel parsers and analyses (0 = GOMAXPROCS)")
+	fs.BoolVar(&c.Cache, "cache", false, "keep a gob parse cache next to each corpus directory")
+	fs.StringVar(&c.Filter, "filter", "", "corpus slice, e.g. \"vendor=AMD,since=2021\" (keys: vendor, os, year, since)")
+	return c
+}
+
+// Source builds the corpus source the flags describe: every -in merged
+// in order (or the seeded in-memory corpus when none was given),
+// cached when -cache is set, wrapped in the -filter slice when one was
+// given.
+func (c *CorpusFlags) Source() (core.Source, error) {
+	var src core.Source
+	switch len(c.Ins) {
+	case 0:
+		opt := synth.DefaultOptions()
+		opt.Seed = c.Seed
+		src = core.SynthSource{Options: opt}
+	case 1:
+		s, err := sourceFor(c.Ins[0], c.Cache)
+		if err != nil {
+			return nil, err
+		}
+		src = s
+	default:
+		merged := make(core.MergeSource, len(c.Ins))
+		for i, in := range c.Ins {
+			s, err := sourceFor(in, c.Cache)
+			if err != nil {
+				return nil, err
+			}
+			merged[i] = s
+		}
+		src = merged
+	}
+	if c.Filter != "" {
+		keep, err := core.ParseFilter(c.Filter)
+		if err != nil {
+			return nil, err
+		}
+		src = core.FilterSource{Inner: src, Keep: keep, Desc: c.Filter}
+	}
+	return src, nil
+}
+
+// sourceFor builds the source for one -in value: a corpus directory
+// (cached when asked) or "synth:<seed>".
+func sourceFor(in string, cache bool) (core.Source, error) {
+	if spec, ok := strings.CutPrefix(in, "synth:"); ok {
+		seed, err := strconv.ParseInt(spec, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-in %q: synth seed must be an integer", in)
+		}
+		opt := synth.DefaultOptions()
+		opt.Seed = seed
+		return core.SynthSource{Options: opt}, nil
+	}
+	if cache {
+		return core.CachedSource{Dir: in}, nil
+	}
+	return core.DirSource{Dir: in}, nil
+}

@@ -1,0 +1,95 @@
+package cliutil
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func parse(t *testing.T, args ...string) *CorpusFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := RegisterCorpusFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func sourceOf(t *testing.T, args ...string) core.Source {
+	t.Helper()
+	src, err := parse(t, args...).Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestDefaultSourceIsSeededSynth(t *testing.T) {
+	src := sourceOf(t)
+	syn, ok := src.(core.SynthSource)
+	if !ok {
+		t.Fatalf("default source is %T, want SynthSource", src)
+	}
+	if syn.Options.Seed != synth.DefaultSeed {
+		t.Errorf("seed = %d, want default %d", syn.Options.Seed, synth.DefaultSeed)
+	}
+	if s := sourceOf(t, "-seed", "99").(core.SynthSource); s.Options.Seed != 99 {
+		t.Errorf("-seed 99 gave seed %d", s.Options.Seed)
+	}
+}
+
+func TestInFlagVariants(t *testing.T) {
+	if src := sourceOf(t, "-in", "corpus/"); src.Name() != "dir(corpus/)" {
+		t.Errorf("single dir -in gave %s", src.Name())
+	}
+	if src := sourceOf(t, "-in", "corpus/", "-cache"); !strings.HasPrefix(src.Name(), "cached(") {
+		t.Errorf("-cache gave %s", src.Name())
+	}
+	if src := sourceOf(t, "-in", "synth:42"); src.(core.SynthSource).Options.Seed != 42 {
+		t.Errorf("synth:42 gave %s", src.Name())
+	}
+	// Repeated -in values merge in order.
+	src := sourceOf(t, "-in", "a/", "-in", "synth:7", "-in", "b/")
+	merged, ok := src.(core.MergeSource)
+	if !ok || len(merged) != 3 {
+		t.Fatalf("three -in gave %T %s", src, src.Name())
+	}
+	if name := src.Name(); !strings.Contains(name, "dir(a/)") ||
+		!strings.Contains(name, "synth(seed=7)") || !strings.Contains(name, "dir(b/)") {
+		t.Errorf("merged name = %s", name)
+	}
+	// An empty -in value is ignored (unset shell variables).
+	if src := sourceOf(t, "-in", ""); src.Name() != (core.SynthSource{Options: synth.DefaultOptions()}).Name() {
+		t.Errorf("empty -in gave %s", src.Name())
+	}
+}
+
+func TestFilterWrapsSource(t *testing.T) {
+	src := sourceOf(t, "-filter", "vendor=AMD,since=2021")
+	if name := src.Name(); !strings.HasPrefix(name, "filter(vendor=AMD,since=2021") {
+		t.Errorf("filtered source name = %s", name)
+	}
+	if _, err := parse(t, "-filter", "color=red").Source(); err == nil {
+		t.Error("bad -filter expression should fail")
+	}
+	if !strings.Contains(parse(t, "-filter", "color=red").Filter, "color") {
+		t.Error("Filter field not populated")
+	}
+}
+
+func TestBadSynthSeed(t *testing.T) {
+	if _, err := parse(t, "-in", "synth:banana").Source(); err == nil ||
+		!strings.Contains(err.Error(), "synth seed") {
+		t.Errorf("synth:banana should fail mentioning the seed, got %v", err)
+	}
+}
+
+func TestWorkersFlag(t *testing.T) {
+	if c := parse(t, "-workers", "8"); c.Workers != 8 {
+		t.Errorf("Workers = %d", c.Workers)
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -153,6 +155,114 @@ func TestParseFilter(t *testing.T) {
 		if _, err := ParseFilter(bad); err == nil {
 			t.Errorf("ParseFilter(%q) should fail", bad)
 		}
+	}
+}
+
+// TestParseFilterErrorMessages: each error path names what went wrong
+// precisely enough to fix the expression — these strings surface
+// verbatim in CLI fatal messages and HTTP 400 bodies.
+func TestParseFilterErrorMessages(t *testing.T) {
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"color=red", []string{"unknown filter key", `"color"`, "vendor"}},
+		{"vendor", []string{`"vendor"`, "key=value"}},
+		{"year=abc", []string{"year", `"abc"`}},
+		{"year=2022-20xx", []string{"year", "FROM-TO"}},
+		{"year=2022-2018", []string{"year", "FROM-TO"}},
+		{"since=soon", []string{"since", `"soon"`, "year"}},
+		{"", []string{"empty filter"}},
+		{" , , ", []string{"empty filter"}},
+		{"vendor=", []string{"vendor", "empty value"}},
+		{"os=|", []string{"os", "empty value"}},
+		{"vendor=AMD,color=red", []string{"unknown filter key", `"color"`}},
+	}
+	for _, c := range cases {
+		_, err := ParseFilter(c.expr)
+		if err == nil {
+			t.Errorf("ParseFilter(%q) should fail", c.expr)
+			continue
+		}
+		for _, want := range c.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("ParseFilter(%q) error %q missing %q", c.expr, err, want)
+			}
+		}
+	}
+}
+
+// TestFilterOverCachedSource: FilterSource composed over CachedSource —
+// the exact stack the HTTP server pool builds per scope. The filter
+// must see the same runs cold (parsing) and warm (gob cache), and the
+// filtered stream must not disturb what gets cached: the cache holds
+// the whole directory, so differently-filtered scopes share it.
+func TestFilterOverCachedSource(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	keep, err := ParseFilter("vendor=AMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := func() Source {
+		return FilterSource{Inner: CachedSource{Dir: dir}, Keep: keep, Desc: "vendor=AMD"}
+	}
+	count := func(src Source) int {
+		t.Helper()
+		n := 0
+		if err := src.Each(0, func(r *model.Run) error {
+			if r.CPUVendor != model.VendorAMD {
+				t.Fatalf("non-AMD run %s leaked through the cached filter", r.ID)
+			}
+			n++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	cold := count(stack())
+	if cold == 0 || cold == len(runs) {
+		t.Fatalf("filtered corpus needs a vendor mix, got %d of %d", cold, len(runs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, cacheFileName)); err != nil {
+		t.Fatalf("cold filtered pass did not write the parse cache: %v", err)
+	}
+	if warm := count(stack()); warm != cold {
+		t.Errorf("warm pass yielded %d runs, cold %d", warm, cold)
+	}
+	// A different scope over the same cached directory still sees the
+	// full complement of its runs (the cache was not filtered down).
+	keepIntel, err := ParseFilter("vendor=Intel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	intel := 0
+	if err := (FilterSource{Inner: CachedSource{Dir: dir}, Keep: keepIntel,
+		Desc: "vendor=Intel"}).Each(0, func(*model.Run) error {
+		intel++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if wantIntel := len(runs) - cold; intel == 0 || intel > wantIntel {
+		t.Errorf("intel scope over the shared cache saw %d runs (corpus has ≤ %d)", intel, wantIntel)
+	}
+	// The engine-level view agrees with an unfiltered in-memory slice
+	// of the same predicate.
+	ds, err := New(WithSource(stack())).Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Raw) != cold {
+		t.Errorf("engine over the stack ingested %d runs, want %d", len(ds.Raw), cold)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/model"
@@ -27,6 +28,7 @@ type Engine struct {
 	workers int
 
 	dsOnce sync.Once
+	dsDone atomic.Bool
 	ds     *analysis.Dataset
 	dsErr  error
 
@@ -87,6 +89,7 @@ func New(opts ...Option) *Engine {
 // with parsing.
 func (e *Engine) Dataset() (*analysis.Dataset, error) {
 	e.dsOnce.Do(func() {
+		defer e.dsDone.Store(true)
 		b := analysis.NewDatasetBuilder()
 		err := e.src.Each(e.workers, func(r *model.Run) error {
 			b.Add(r)
@@ -102,6 +105,17 @@ func (e *Engine) Dataset() (*analysis.Dataset, error) {
 		e.ds.Workers = e.workers
 	})
 	return e.ds, e.dsErr
+}
+
+// IngestionFailed reports whether a completed ingestion errored,
+// without triggering one: false while the source has not been streamed
+// yet (or streamed successfully). Long-lived engine caches use it to
+// tell a broken corpus — worth discarding the engine and retrying —
+// from an analysis that legitimately errors on a healthy corpus. The
+// dsDone release/acquire pair makes reading dsErr safe here without
+// entering the once.
+func (e *Engine) IngestionFailed() bool {
+	return e.dsDone.Load() && e.dsErr != nil
 }
 
 // Runs returns the raw corpus (every run the source delivered).

@@ -342,6 +342,55 @@ func TestEngineWriteJSON(t *testing.T) {
 	}
 }
 
+// TestRunDescriptionsMatchRegistry pins the {name, description, value}
+// contract of Run/WriteJSON to the registry: every result carries its
+// registry description verbatim, so JSON consumers (the specanalyze
+// -json output, the HTTP server) never need a second lookup. This keeps
+// the engine output and the registry from drifting apart.
+func TestRunDescriptionsMatchRegistry(t *testing.T) {
+	eng := smallEngine(t)
+	names := []string{"funnel", "fig1", "top100", "table1"}
+	results, err := eng.Run(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Name != names[i] {
+			t.Fatalf("result %d is %q, want request order %v", i, res.Name, names)
+		}
+		reg, ok := analysis.Lookup(res.Name)
+		if !ok {
+			t.Fatalf("result %q not in registry", res.Name)
+		}
+		if res.Description != reg.Description {
+			t.Errorf("%s: description %q differs from registry %q",
+				res.Name, res.Description, reg.Description)
+		}
+		if res.Description == "" {
+			t.Errorf("%s: empty description", res.Name)
+		}
+	}
+	// And the JSON encoding carries all three fields for every result.
+	var buf bytes.Buffer
+	if err := eng.WriteJSON(&buf, names...); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(names) {
+		t.Fatalf("encoded %d results for %d names", len(decoded), len(names))
+	}
+	for i, obj := range decoded {
+		for _, field := range []string{"name", "description", "value"} {
+			if _, ok := obj[field]; !ok {
+				t.Errorf("result %d (%s) missing JSON field %q", i, names[i], field)
+			}
+		}
+	}
+}
+
 func TestEngineWriteAnalysisText(t *testing.T) {
 	eng := smallEngine(t)
 	results, err := eng.Run("funnel", "fig3", "growth", "table1")
@@ -361,6 +410,40 @@ func TestEngineWriteAnalysisText(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered text missing %q", want)
 		}
+	}
+}
+
+// failingSource errors on every stream.
+type failingSource struct{}
+
+func (failingSource) Name() string { return "failing" }
+
+func (failingSource) Each(int, func(*model.Run) error) error {
+	return errors.New("boom")
+}
+
+// TestEngineIngestionFailed: the flag is false before ingestion and
+// after a successful one, true only once an ingestion has completed
+// with an error — the signal long-lived engine caches evict on.
+func TestEngineIngestionFailed(t *testing.T) {
+	bad := New(WithSource(failingSource{}))
+	if bad.IngestionFailed() {
+		t.Error("IngestionFailed before any ingestion")
+	}
+	if _, err := bad.Dataset(); err == nil {
+		t.Fatal("failing source should error")
+	}
+	if !bad.IngestionFailed() {
+		t.Error("IngestionFailed false after a failed ingestion")
+	}
+	// An analysis error alone (healthy corpus, unknown name is checked
+	// elsewhere) must not trip the flag.
+	good := smallEngine(t)
+	if _, err := good.Dataset(); err != nil {
+		t.Fatal(err)
+	}
+	if good.IngestionFailed() {
+		t.Error("IngestionFailed true after a successful ingestion")
 	}
 }
 

@@ -1,0 +1,55 @@
+// Package serve exposes the analysis registry as a long-running HTTP
+// service — the network-facing surface over the streaming core.Engine.
+//
+// # Endpoints
+//
+//	GET /healthz                   liveness probe
+//	GET /v1/analyses               the registry listing: {name, description}
+//	GET /v1/analyses/{name}        one analysis result as {name, description, filter, value}
+//	GET /v1/report                 the full text report
+//	GET /v1/stats                  serving metrics (requests, pool, cache hits)
+//
+// The analysis and report endpoints accept ?filter=EXPR, a
+// core.ParseFilter corpus-slice expression ("vendor=AMD,since=2021"),
+// selecting the scope the analysis runs over.
+//
+// # The scope-keyed engine pool
+//
+// Every distinct scope maps to one lazily built core.Engine wrapped in
+// FilterSource over the server's base source. Scopes are canonicalized
+// (lower-cased, clause-sorted) before keying, so "since=2021,vendor=AMD"
+// and "vendor=amd, since=2021" share an engine. Construction is
+// single-flight: the pool entry is inserted under the pool lock but
+// built inside the entry's sync.Once, so N concurrent requests for the
+// same cold scope perform exactly one build — and because the engine
+// memoizes its dataset and analyses behind sync.Once too, they share
+// one corpus ingestion and one computation per analysis instead of
+// stampeding the parser. The pool is LRU-bounded: beyond PoolSize
+// resident engines the least recently served scope is evicted (a
+// request already holding the evicted engine finishes unharmed; the
+// next request for that scope rebuilds). Failures are never pinned:
+// a scope whose fingerprint or ingestion errors is dropped from the
+// pool, so a transient corpus problem is retried by the next request
+// instead of replaying a memoized error forever.
+//
+// # ETags
+//
+// Responses carry strong ETags derived from (corpus fingerprint,
+// endpoint, analysis name, canonical filter). The fingerprint comes
+// from core.SourceFingerprint — for directory corpora a digest of every
+// file's path, size, and mtime; for synthetic corpora the generator
+// options — so the validator changes exactly when the served bytes
+// could. A repeat request carrying If-None-Match is answered 304 Not
+// Modified with zero recomputation and an empty body. Responses are
+// marked Cache-Control: no-cache, which tells well-behaved clients to
+// revalidate (cheap: a 304) rather than serve possibly-stale copies
+// blindly.
+//
+// # Operational behavior
+//
+// Requests pass a bounded-concurrency gate (Config.MaxInFlight; waiters
+// respect request-context cancellation and get 503 when the client
+// gives up) and a logging middleware (Config.Logf). cmd/specserve wires
+// the package to the shared corpus flags and adds graceful shutdown on
+// SIGINT/SIGTERM.
+package serve

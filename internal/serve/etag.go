@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// etagFor derives a strong validator from the response identity: the
+// corpus fingerprint plus whatever distinguishes this resource on that
+// corpus (endpoint, analysis name, canonical filter). It reuses
+// core.Digest, the collision-safe part framing behind the corpus
+// fingerprints themselves, truncated to 128 bits and quoted.
+func etagFor(parts ...string) string {
+	return `"` + core.Digest(parts...)[:32] + `"`
+}
+
+// etagMatches reports whether an If-None-Match header value matches
+// etag, per RFC 9110 weak comparison (which If-None-Match mandates):
+// "*" matches anything, W/ prefixes are ignored, and the list form is
+// honored.
+func etagMatches(header, etag string) bool {
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// notModified reports whether the request carries a matching
+// If-None-Match validator.
+func notModified(r *http.Request, etag string) bool {
+	inm := r.Header.Get("If-None-Match")
+	return inm != "" && etagMatches(inm, etag)
+}
+
+// writeValidator attaches the validator (and no-cache, so clients
+// revalidate instead of trusting their copy blindly). Handlers call it
+// only on responses that actually represent the resource — a 200 or a
+// 304 — never on errors, so a failing endpoint can never hand out a
+// validator that later revalidates to a misleading 304.
+func writeValidator(w http.ResponseWriter, etag string) {
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Cache-Control", "no-cache")
+}

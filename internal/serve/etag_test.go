@@ -1,0 +1,46 @@
+package serve
+
+import "testing"
+
+func TestEtagForDistinguishesParts(t *testing.T) {
+	a := etagFor("fp", "analysis", "fig3", "")
+	if a[0] != '"' || a[len(a)-1] != '"' {
+		t.Errorf("etag %q is not quoted", a)
+	}
+	for _, other := range [][]string{
+		{"fp", "analysis", "fig4", ""},           // different name
+		{"fp", "analysis", "fig3", "vendor=amd"}, // different scope
+		{"fp2", "analysis", "fig3", ""},          // different corpus
+		{"fp", "report", "fig3", ""},             // different endpoint
+		{"fp", "analysis", "fig", "3"},           // boundary shift
+	} {
+		if etagFor(other...) == a {
+			t.Errorf("etagFor(%v) collides with %v", other, []string{"fp", "analysis", "fig3", ""})
+		}
+	}
+	if etagFor("fp", "analysis", "fig3", "") != a {
+		t.Error("etagFor is not deterministic")
+	}
+}
+
+func TestEtagMatches(t *testing.T) {
+	const tag = `"abc123"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{`"abc123"`, true},
+		{`W/"abc123"`, true}, // If-None-Match mandates weak comparison
+		{`*`, true},
+		{`"zzz", "abc123"`, true},
+		{` "zzz" , W/"abc123" `, true},
+		{`"zzz"`, false},
+		{`abc123`, false}, // unquoted ≠ quoted
+		{``, false},
+	}
+	for _, c := range cases {
+		if got := etagMatches(c.header, tag); got != c.want {
+			t.Errorf("etagMatches(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}

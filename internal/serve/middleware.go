@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusWriter records the status and body size a handler produced, for
+// logging and the 304/5xx counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// withGate bounds request concurrency: at most MaxInFlight requests run
+// at once, later arrivals queue on the semaphore, and a queued client
+// that gives up (context canceled, connection gone) gets 503 instead of
+// holding a goroutine forever.
+func (s *Server) withGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.gate <- struct{}{}:
+		case <-r.Context().Done():
+			s.counters.rejected.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "server busy")
+			return
+		}
+		s.counters.inFlight.Add(1)
+		defer func() {
+			s.counters.inFlight.Add(-1)
+			<-s.gate
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withLogging counts every request and emits one Logf line per request
+// (method, path, status, bytes, duration).
+func (s *Server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		s.counters.requests.Add(1)
+		switch {
+		case sw.status == http.StatusNotModified:
+			s.counters.notModified.Add(1)
+		case sw.status >= 500:
+			s.counters.errors.Add(1)
+		}
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("%s %s %d %dB %s",
+				r.Method, r.URL.RequestURI(), sw.status, sw.bytes,
+				time.Since(start).Round(time.Microsecond))
+		}
+	})
+}

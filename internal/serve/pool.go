@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// scope is one corpus slice a client can request: the canonical filter
+// expression (the pool key; "" = the whole base corpus) and its
+// compiled predicate.
+type scope struct {
+	expr string
+	keep func(*model.Run) bool
+}
+
+// parseScope canonicalizes and compiles a ?filter= expression. The
+// canonical form — lower-cased, space-trimmed clauses in sorted order —
+// keys the engine pool, so semantically equal spellings share one
+// engine. Filter comparisons are case-insensitive throughout
+// core.ParseFilter, which makes the lower-casing safe.
+func parseScope(expr string) (scope, error) {
+	var clauses []string
+	for _, c := range strings.Split(strings.ToLower(expr), ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			clauses = append(clauses, c)
+		}
+	}
+	if len(clauses) == 0 {
+		return scope{}, nil
+	}
+	sort.Strings(clauses)
+	canonical := strings.Join(clauses, ",")
+	keep, err := core.ParseFilter(canonical)
+	if err != nil {
+		return scope{}, err
+	}
+	return scope{expr: canonical, keep: keep}, nil
+}
+
+// poolEntry is one resident scope engine. The engine and its corpus
+// fingerprint are built inside once, so concurrent requests for a cold
+// scope block on the same construction instead of each building their
+// own (and then, through the engine's own sync.Once memoization, share
+// one ingestion and one computation per analysis).
+type poolEntry struct {
+	scope string
+	once  sync.Once
+
+	eng         *core.Engine
+	fingerprint string
+	err         error
+}
+
+// enginePool maps canonical scopes to engines, LRU-bounded.
+type enginePool struct {
+	base    core.Source
+	workers int
+	max     int
+
+	mu      sync.Mutex
+	lru     *list.List // of *poolEntry; front = most recently served
+	byScope map[string]*list.Element
+
+	builds    atomic.Int64
+	evictions atomic.Int64
+}
+
+func newEnginePool(base core.Source, workers, max int) *enginePool {
+	return &enginePool{
+		base:    base,
+		workers: workers,
+		max:     max,
+		lru:     list.New(),
+		byScope: map[string]*list.Element{},
+	}
+}
+
+// get returns the entry for sc, building it on first use. Only the
+// entry bookkeeping happens under the pool lock; the build itself runs
+// in the entry's once, so a slow ingestion never blocks requests for
+// other scopes.
+func (p *enginePool) get(sc scope) (*poolEntry, error) {
+	ent := p.entry(sc.expr)
+	ent.once.Do(func() {
+		src := p.source(sc)
+		fp, err := core.SourceFingerprint(src)
+		if err != nil {
+			// Never cache a failed build: drop the entry so a transient
+			// problem (corpus dir mid-sync, say) is retried, not pinned.
+			ent.err = err
+			p.drop(ent)
+			return
+		}
+		p.builds.Add(1)
+		ent.fingerprint = fp
+		ent.eng = core.New(core.WithSource(src), core.WithWorkers(p.workers))
+	})
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	return ent, nil
+}
+
+// source builds the corpus source for one scope: the base source,
+// sliced by the scope predicate when there is one.
+func (p *enginePool) source(sc scope) core.Source {
+	if sc.keep == nil {
+		return p.base
+	}
+	return core.FilterSource{Inner: p.base, Keep: sc.keep, Desc: sc.expr}
+}
+
+// entry looks the scope up, inserting (and evicting beyond the LRU
+// bound) when missing. Served scopes move to the LRU front.
+func (p *enginePool) entry(key string) *poolEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byScope[key]; ok {
+		p.lru.MoveToFront(el)
+		return el.Value.(*poolEntry)
+	}
+	ent := &poolEntry{scope: key}
+	p.byScope[key] = p.lru.PushFront(ent)
+	for p.lru.Len() > p.max {
+		back := p.lru.Back()
+		p.lru.Remove(back)
+		delete(p.byScope, back.Value.(*poolEntry).scope)
+		p.evictions.Add(1)
+	}
+	return ent
+}
+
+// drop removes ent unless the scope has already been re-inserted by a
+// later request (then the newer entry stays).
+func (p *enginePool) drop(ent *poolEntry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byScope[ent.scope]; ok && el.Value.(*poolEntry) == ent {
+		p.lru.Remove(el)
+		delete(p.byScope, ent.scope)
+	}
+}
+
+// len reports the resident engine count.
+func (p *enginePool) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}

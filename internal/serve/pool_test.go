@@ -1,0 +1,50 @@
+package serve
+
+import "testing"
+
+func TestParseScopeCanonicalizes(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"", ""},
+		{"   ", ""},
+		{",,", ""},
+		{"vendor=AMD", "vendor=amd"},
+		{"since=2015,vendor=AMD", "since=2015,vendor=amd"},
+		{"vendor=AMD,since=2015", "since=2015,vendor=amd"}, // clause order sorted
+		{" Vendor=AMD , since=2015 ", "since=2015,vendor=amd"},
+		{"vendor=AMD|Intel", "vendor=amd|intel"},
+	}
+	for _, c := range cases {
+		sc, err := parseScope(c.in)
+		if err != nil {
+			t.Errorf("parseScope(%q): %v", c.in, err)
+			continue
+		}
+		if sc.expr != c.want {
+			t.Errorf("parseScope(%q).expr = %q, want %q", c.in, sc.expr, c.want)
+		}
+		if (sc.keep == nil) != (c.want == "") {
+			t.Errorf("parseScope(%q): keep nil-ness inconsistent with expr %q", c.in, c.want)
+		}
+	}
+	for _, bad := range []string{"color=red", "year=abc", "vendor", "since=soon"} {
+		if _, err := parseScope(bad); err == nil {
+			t.Errorf("parseScope(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseScopeEquivalentSpellingsShareKey(t *testing.T) {
+	a, err := parseScope("vendor=AMD, since=2015")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parseScope("SINCE=2015,vendor=amd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.expr != b.expr {
+		t.Errorf("equivalent scopes key differently: %q vs %q", a.expr, b.expr)
+	}
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// Defaults for the pool and concurrency bounds (Config zero values).
+const (
+	DefaultPoolSize    = 32
+	DefaultMaxInFlight = 64
+)
+
+// Config configures a Server.
+type Config struct {
+	// Base is the unfiltered corpus source every requested scope slices
+	// from (nil = the default synthetic corpus, via core.New).
+	Base core.Source
+	// Workers bounds each engine's parallelism (0 = GOMAXPROCS).
+	Workers int
+	// PoolSize bounds the resident scope engines; the least recently
+	// served scope past the bound is evicted (<=0 = DefaultPoolSize).
+	PoolSize int
+	// MaxInFlight bounds concurrently served requests (<=0 =
+	// DefaultMaxInFlight).
+	MaxInFlight int
+	// Logf, when non-nil, receives one line per request.
+	Logf func(format string, args ...any)
+}
+
+// Server serves the analysis registry over HTTP. It is an http.Handler;
+// wire it into an http.Server (see cmd/specserve) or hit it directly in
+// tests via httptest.
+type Server struct {
+	cfg      Config
+	pool     *enginePool
+	gate     chan struct{}
+	handler  http.Handler
+	started  time.Time
+	counters counters
+}
+
+// New builds a Server over cfg.
+func New(cfg Config) *Server {
+	if cfg.Base == nil {
+		cfg.Base = core.SynthSource{Options: synth.DefaultOptions()}
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = DefaultPoolSize
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    newEnginePool(cfg.Base, cfg.Workers, cfg.PoolSize),
+		gate:    make(chan struct{}, cfg.MaxInFlight),
+		started: time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/analyses", s.handleList)
+	mux.HandleFunc("GET /v1/analyses/{name}", s.handleAnalysis)
+	mux.HandleFunc("GET /v1/report", s.handleReport)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.handler = s.withLogging(s.withGate(mux))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Warm pre-builds the whole-corpus engine and ingests its dataset, so
+// the first unfiltered request after startup is served from memory
+// instead of paying for ingestion.
+func (s *Server) Warm() error {
+	ent, err := s.pool.get(scope{})
+	if err != nil {
+		return err
+	}
+	_, err = ent.eng.Dataset()
+	return err
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+// writeJSON writes v indented, with the content type set. The encode
+// happens into a buffer first so a marshal failure can still become a
+// clean 500 instead of a truncated 200.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("encode response: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// listEntry is one row of the registry listing.
+type listEntry struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	names := analysis.Names()
+	entries := make([]listEntry, 0, len(names))
+	etagParts := make([]string, 0, 2*len(names)+1)
+	etagParts = append(etagParts, "list")
+	for _, name := range names {
+		reg, _ := analysis.Lookup(name)
+		entries = append(entries, listEntry{Name: name, Description: reg.Description})
+		etagParts = append(etagParts, name, reg.Description)
+	}
+	etag := etagFor(etagParts...)
+	writeValidator(w, etag)
+	if notModified(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeJSON(w, http.StatusOK, entries)
+}
+
+// analysisResponse is the body of /v1/analyses/{name}: the registry
+// row plus the scope it was computed over, so consumers need no second
+// lookup.
+type analysisResponse struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Filter      string `json:"filter,omitempty"`
+	Value       any    `json:"value"`
+}
+
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	reg, ok := analysis.Lookup(name)
+	if !ok {
+		// 404 before touching the pool: a typo'd name must not build an
+		// engine or ingest anything.
+		err := &core.UnknownAnalysisError{Name: name, Available: analysis.SortedNames()}
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	sc, err := parseScope(r.URL.Query().Get("filter"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ent, err := s.pool.get(sc)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	etag := etagFor(ent.fingerprint, "analysis", name, sc.expr)
+	if notModified(r, etag) {
+		writeValidator(w, etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	v, err := ent.eng.Analysis(name)
+	if err != nil {
+		// A broken corpus poisons every analysis of the scope: drop the
+		// entry so the next request retries ingestion instead of
+		// replaying the memoized failure forever. An analysis that
+		// errors on a healthy corpus keeps its (cheap, memoized) entry.
+		if ent.eng.IngestionFailed() {
+			s.pool.drop(ent)
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// The validator is attached only now, to a response that represents
+	// the resource — an error above must not hand out an ETag that
+	// would later revalidate to a misleading 304.
+	writeValidator(w, etag)
+	writeJSON(w, http.StatusOK, analysisResponse{
+		Name:        name,
+		Description: reg.Description,
+		Filter:      sc.expr,
+		Value:       v,
+	})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	sc, err := parseScope(r.URL.Query().Get("filter"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ent, err := s.pool.get(sc)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	etag := etagFor(ent.fingerprint, "report", sc.expr)
+	if notModified(r, etag) {
+		writeValidator(w, etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	// Render into a buffer so a mid-report analysis failure becomes a
+	// clean 500 instead of half a 200.
+	var buf bytes.Buffer
+	if err := ent.eng.WriteReport(&buf); err != nil {
+		if ent.eng.IngestionFailed() {
+			s.pool.drop(ent)
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeValidator(w, etag)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}

@@ -1,0 +1,623 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/synth"
+)
+
+// countingSource counts how often the base corpus is streamed — the
+// ground truth for the single-flight and warm-scope assertions.
+type countingSource struct {
+	inner   core.Source
+	streams *atomic.Int64
+}
+
+func (c countingSource) Name() string { return "counting(" + c.inner.Name() + ")" }
+
+func (c countingSource) Each(workers int, yield func(*model.Run) error) error {
+	c.streams.Add(1)
+	return c.inner.Each(workers, yield)
+}
+
+func testRuns(t testing.TB) []*model.Run {
+	t.Helper()
+	runs, err := core.GenerateCorpus(synth.Options{
+		Seed: 7,
+		Plan: []synth.YearPlan{
+			{Year: 2009, Parsed: 12, AMDShare: 0.25, LinuxShare: 0.02, TwoSocketShare: 0.7},
+			{Year: 2019, Parsed: 12, AMDShare: 0.30, LinuxShare: 0.30, TwoSocketShare: 0.7},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runs
+}
+
+// testServer builds a Server over the small corpus and returns the
+// stream counter of its base source.
+func testServer(t testing.TB, cfg Config) (*Server, *atomic.Int64) {
+	t.Helper()
+	var streams atomic.Int64
+	if cfg.Base == nil {
+		cfg.Base = countingSource{inner: core.SliceSource(testRuns(t)), streams: &streams}
+	}
+	return New(cfg), &streams
+}
+
+func get(t testing.TB, s *Server, path string, hdr ...string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestListAnalyses(t *testing.T) {
+	s, streams := testServer(t, Config{})
+	rec := get(t, s, "/v1/analyses")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var entries []struct{ Name, Description string }
+	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 16 {
+		t.Fatalf("listed %d analyses", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.Description == "" {
+			t.Errorf("analysis %q listed without a description", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	if !seen["funnel"] || !seen["fig3"] || !seen["table1"] {
+		t.Errorf("listing missing expected names: %v", seen)
+	}
+	// The listing is registry-only: no engine, no ingestion.
+	if streams.Load() != 0 {
+		t.Errorf("listing streamed the corpus %d times", streams.Load())
+	}
+	// And it is cacheable: the ETag round-trips to a 304.
+	etag := rec.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("listing has no ETag")
+	}
+	if rec := get(t, s, "/v1/analyses", "If-None-Match", etag); rec.Code != http.StatusNotModified {
+		t.Errorf("repeat with ETag = %d, want 304", rec.Code)
+	}
+}
+
+func TestAnalysisEndpoint(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	rec := get(t, s, "/v1/analyses/funnel")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var body struct {
+		Name        string          `json:"name"`
+		Description string          `json:"description"`
+		Filter      string          `json:"filter"`
+		Value       json.RawMessage `json:"value"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Name != "funnel" || body.Description == "" || len(body.Value) == 0 {
+		t.Errorf("body = %+v", body)
+	}
+	if body.Filter != "" {
+		t.Errorf("unfiltered request reported filter %q", body.Filter)
+	}
+}
+
+func TestAnalysisScoped(t *testing.T) {
+	runs := testRuns(t)
+	wantAMD := 0
+	for _, r := range runs {
+		if r.CPUVendor == model.VendorAMD {
+			wantAMD++
+		}
+	}
+	if wantAMD == 0 || wantAMD == len(runs) {
+		t.Fatalf("test corpus needs a vendor mix, got %d/%d AMD", wantAMD, len(runs))
+	}
+	s := New(Config{Base: core.SliceSource(runs)})
+	rec := get(t, s, "/v1/analyses/funnel?filter=vendor%3DAMD")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var body struct {
+		Filter string `json:"filter"`
+		Value  struct {
+			Raw int `json:"Raw"`
+		} `json:"value"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Filter != "vendor=amd" {
+		t.Errorf("filter echoed as %q, want canonical %q", body.Filter, "vendor=amd")
+	}
+	if body.Value.Raw != wantAMD {
+		t.Errorf("scoped funnel saw %d raw runs, want %d", body.Value.Raw, wantAMD)
+	}
+}
+
+func TestAnalysisUnknownName(t *testing.T) {
+	s, streams := testServer(t, Config{})
+	rec := get(t, s, "/v1/analyses/nope")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	// The error is helpful (names the miss, lists what exists) and
+	// cheap: no engine was built for a typo.
+	for _, want := range []string{`"nope"`, "available", "fig3"} {
+		if !strings.Contains(body.Error, want) {
+			t.Errorf("error %q missing %q", body.Error, want)
+		}
+	}
+	if streams.Load() != 0 {
+		t.Errorf("404 streamed the corpus %d times", streams.Load())
+	}
+}
+
+func TestAnalysisBadFilter(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	for _, filter := range []string{"color=red", "year=abc", "vendor"} {
+		rec := get(t, s, "/v1/analyses/funnel?filter="+filter)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("filter %q: status = %d, want 400", filter, rec.Code)
+		}
+	}
+}
+
+func TestETagRoundTrip(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	first := get(t, s, "/v1/analyses/funnel")
+	if first.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", first.Code, first.Body)
+	}
+	etag := first.Header().Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("ETag = %q, want a quoted strong validator", etag)
+	}
+	if cc := first.Header().Get("Cache-Control"); cc != "no-cache" {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+
+	second := get(t, s, "/v1/analyses/funnel", "If-None-Match", etag)
+	if second.Code != http.StatusNotModified {
+		t.Fatalf("repeat with ETag: status = %d, want 304", second.Code)
+	}
+	if second.Body.Len() != 0 {
+		t.Errorf("304 carried a %d-byte body", second.Body.Len())
+	}
+	if got := second.Header().Get("ETag"); got != etag {
+		t.Errorf("304 ETag = %q, want %q", got, etag)
+	}
+	if s.Stats().NotModified != 1 {
+		t.Errorf("not_modified = %d, want 1", s.Stats().NotModified)
+	}
+
+	// The validator is specific: a different analysis and a different
+	// scope both get different ETags (a shared one would serve wrong
+	// 304s).
+	other := get(t, s, "/v1/analyses/fig1")
+	if other.Header().Get("ETag") == etag {
+		t.Error("fig1 shares funnel's ETag")
+	}
+	scoped := get(t, s, "/v1/analyses/funnel?filter=vendor%3DAMD")
+	if scoped.Header().Get("ETag") == etag {
+		t.Error("scoped funnel shares the unscoped ETag")
+	}
+	// A stale validator still gets a fresh 200.
+	if rec := get(t, s, "/v1/analyses/funnel", "If-None-Match", `"deadbeef"`); rec.Code != http.StatusOK {
+		t.Errorf("stale ETag: status = %d, want 200", rec.Code)
+	}
+}
+
+// TestSingleFlight: N concurrent requests for the same cold scope build
+// exactly one engine and stream the corpus exactly once.
+func TestSingleFlight(t *testing.T) {
+	s, streams := testServer(t, Config{})
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	etags := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := get(t, s, "/v1/analyses/funnel?filter=vendor%3DAMD")
+			codes[i] = rec.Code
+			etags[i] = rec.Header().Get("ETag")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if etags[i] != etags[0] {
+			t.Errorf("request %d: ETag %q differs from %q", i, etags[i], etags[0])
+		}
+	}
+	if got := s.Stats().EngineBuilds; got != 1 {
+		t.Errorf("engine_builds = %d, want 1 (single-flight)", got)
+	}
+	if got := streams.Load(); got != 1 {
+		t.Errorf("corpus streamed %d times under concurrency, want 1", got)
+	}
+}
+
+// TestWarmScopeServedFromMemo: once a scope is resident, repeat
+// requests recompute nothing — no new engine, no new ingestion — and
+// are far faster than the cold request that built the scope.
+func TestWarmScopeServedFromMemo(t *testing.T) {
+	s, streams := testServer(t, Config{})
+
+	coldStart := time.Now()
+	if rec := get(t, s, "/v1/analyses/funnel"); rec.Code != http.StatusOK {
+		t.Fatalf("cold: status %d", rec.Code)
+	}
+	cold := time.Since(coldStart)
+	if streams.Load() != 1 {
+		t.Fatalf("cold request streamed %d times", streams.Load())
+	}
+
+	warmStart := time.Now()
+	for i := 0; i < 5; i++ {
+		if rec := get(t, s, "/v1/analyses/funnel"); rec.Code != http.StatusOK {
+			t.Fatalf("warm: status %d", rec.Code)
+		}
+	}
+	warm := time.Since(warmStart) / 5
+	if streams.Load() != 1 {
+		t.Errorf("warm requests re-streamed the corpus (%d streams)", streams.Load())
+	}
+	if got := s.Stats().EngineBuilds; got != 1 {
+		t.Errorf("warm requests rebuilt the engine (%d builds)", got)
+	}
+	// The wall-clock claim (≥10× in BenchmarkServeAnalysis) is asserted
+	// loosely here to stay robust on loaded CI machines.
+	if warm > cold {
+		t.Errorf("warm request (%v) slower than cold (%v)", warm, cold)
+	}
+	t.Logf("cold=%v warm=%v (%.0f× speedup)", cold, warm, float64(cold)/float64(warm))
+}
+
+// TestPoolEviction: past the LRU bound the least recently served scope
+// is evicted and a later request for it rebuilds.
+func TestPoolEviction(t *testing.T) {
+	s, _ := testServer(t, Config{PoolSize: 2})
+	hit := func(filter string) {
+		t.Helper()
+		rec := get(t, s, "/v1/analyses/funnel?filter="+filter)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("filter %q: status %d: %s", filter, rec.Code, rec.Body)
+		}
+	}
+	hit("vendor%3DAMD")   // pool: [amd]
+	hit("vendor%3DIntel") // pool: [intel amd]
+	hit("os%3DLinux")     // pool: [linux intel], amd evicted
+	st := s.Stats()
+	if st.PoolEngines != 2 {
+		t.Errorf("pool_engines = %d, want 2", st.PoolEngines)
+	}
+	if st.EngineBuilds != 3 || st.PoolEvictions != 1 {
+		t.Errorf("builds/evictions = %d/%d, want 3/1", st.EngineBuilds, st.PoolEvictions)
+	}
+	hit("os%3DLinux") // still resident: no rebuild
+	if got := s.Stats().EngineBuilds; got != 3 {
+		t.Errorf("resident scope rebuilt: builds = %d", got)
+	}
+	hit("vendor%3DAMD") // evicted: rebuilt, evicting intel
+	st = s.Stats()
+	if st.EngineBuilds != 4 || st.PoolEvictions != 2 {
+		t.Errorf("after re-request: builds/evictions = %d/%d, want 4/2",
+			st.EngineBuilds, st.PoolEvictions)
+	}
+}
+
+// TestScopeCanonicalization: different spellings of the same filter
+// share one pool engine.
+func TestScopeCanonicalization(t *testing.T) {
+	s, streams := testServer(t, Config{})
+	for _, spelling := range []string{
+		"vendor%3DAMD%2Csince%3D2015",
+		"since%3D2015%2Cvendor%3Damd",
+		"%20vendor%3DAMD%20%2C%20since%3D2015%20",
+	} {
+		rec := get(t, s, "/v1/analyses/funnel?filter="+spelling)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("spelling %q: status %d: %s", spelling, rec.Code, rec.Body)
+		}
+	}
+	if got := s.Stats().EngineBuilds; got != 1 {
+		t.Errorf("equal scopes built %d engines, want 1", got)
+	}
+	if got := streams.Load(); got != 1 {
+		t.Errorf("equal scopes streamed %d times, want 1", got)
+	}
+}
+
+func TestReportEndpoint(t *testing.T) {
+	// The full report needs enough yearly bins for the trend tests, so
+	// it gets a wider corpus than the two-year default.
+	runs, err := core.GenerateCorpus(synth.Options{
+		Seed: 7,
+		Plan: []synth.YearPlan{
+			{Year: 2008, Parsed: 10, AMDShare: 0.25, LinuxShare: 0.02, TwoSocketShare: 0.7},
+			{Year: 2012, Parsed: 10, AMDShare: 0.20, LinuxShare: 0.05, TwoSocketShare: 0.7},
+			{Year: 2016, Parsed: 10, AMDShare: 0.10, LinuxShare: 0.10, TwoSocketShare: 0.7},
+			{Year: 2018, Parsed: 10, AMDShare: 0.20, LinuxShare: 0.20, TwoSocketShare: 0.7},
+			{Year: 2020, Parsed: 10, AMDShare: 0.30, LinuxShare: 0.30, TwoSocketShare: 0.7},
+			{Year: 2023, Parsed: 10, AMDShare: 0.35, LinuxShare: 0.40, TwoSocketShare: 0.7},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Base: core.SliceSource(runs)})
+	rec := get(t, s, "/v1/report")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "Filter funnel") {
+		t.Errorf("report body missing the funnel section")
+	}
+	etag := rec.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("report has no ETag")
+	}
+	if rec := get(t, s, "/v1/report", "If-None-Match", etag); rec.Code != http.StatusNotModified {
+		t.Errorf("repeat report = %d, want 304", rec.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	get(t, s, "/healthz")
+	get(t, s, "/v1/analyses/funnel")
+	rec := get(t, s, "/v1/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var st StatsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	// The stats request itself is not yet counted when the snapshot is
+	// taken, hence 2, not 3.
+	if st.Requests != 2 {
+		t.Errorf("requests = %d, want 2", st.Requests)
+	}
+	if st.EngineBuilds != 1 || st.PoolEngines != 1 {
+		t.Errorf("builds/engines = %d/%d, want 1/1", st.EngineBuilds, st.PoolEngines)
+	}
+	if st.Analyses < 16 {
+		t.Errorf("analyses = %d", st.Analyses)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("stats Cache-Control = %q", cc)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	req := httptest.NewRequest(http.MethodPost, "/v1/analyses/funnel", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", rec.Code)
+	}
+}
+
+func TestPoolBuildErrorNotCached(t *testing.T) {
+	s := New(Config{Base: core.DirSource{Dir: "/nonexistent-corpus-dir"}})
+	if rec := get(t, s, "/v1/analyses/funnel"); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("missing corpus: status = %d, want 500", rec.Code)
+	}
+	// The failed build must not be pinned in the pool.
+	if got := s.Stats().PoolEngines; got != 0 {
+		t.Errorf("failed scope stayed resident: pool_engines = %d", got)
+	}
+}
+
+// flakySource fails its first `fails` streams, then delegates — a
+// corpus directory mid-sync, as seen by the engine.
+type flakySource struct {
+	inner core.Source
+	fails *atomic.Int64
+}
+
+func (f flakySource) Name() string { return "flaky(" + f.inner.Name() + ")" }
+
+func (f flakySource) Each(workers int, yield func(*model.Run) error) error {
+	if f.fails.Add(-1) >= 0 {
+		return fmt.Errorf("transient corpus failure")
+	}
+	return f.inner.Each(workers, yield)
+}
+
+// TestIngestionFailureRetried: a scope whose ingestion fails is dropped
+// from the pool — the 500 carries no ETag (nothing to revalidate to),
+// and the next request rebuilds and succeeds instead of replaying the
+// engine's memoized error forever.
+func TestIngestionFailureRetried(t *testing.T) {
+	var fails atomic.Int64
+	fails.Store(1)
+	s := New(Config{Base: flakySource{inner: core.SliceSource(testRuns(t)), fails: &fails}})
+
+	first := get(t, s, "/v1/analyses/funnel")
+	if first.Code != http.StatusInternalServerError {
+		t.Fatalf("first request = %d, want 500", first.Code)
+	}
+	if etag := first.Header().Get("ETag"); etag != "" {
+		t.Errorf("error response carries ETag %q — a later If-None-Match would 304 a broken resource", etag)
+	}
+	if got := s.Stats().PoolEngines; got != 0 {
+		t.Errorf("broken scope stayed resident: pool_engines = %d", got)
+	}
+
+	second := get(t, s, "/v1/analyses/funnel")
+	if second.Code != http.StatusOK {
+		t.Fatalf("after the corpus recovered: status = %d, want 200 (body %s)",
+			second.Code, second.Body)
+	}
+	if second.Header().Get("ETag") == "" {
+		t.Error("recovered response has no ETag")
+	}
+}
+
+// The gate probe blocks inside an analysis until released, so the test
+// can hold a request in flight deterministically. The analysis is
+// registered once per process (the registry rejects duplicates) but
+// reads its channels through a mutex, so repeated runs (-count) get
+// fresh ones.
+var (
+	gateProbeOnce    sync.Once
+	gateProbeMu      sync.Mutex
+	gateProbeEnter   chan struct{}
+	gateProbeRelease chan struct{}
+)
+
+func registerGateProbe() (enter, release chan struct{}) {
+	gateProbeOnce.Do(func() {
+		analysis.Register("serve_gate_probe", "blocking probe (test only)",
+			func(ds *analysis.Dataset) (any, error) {
+				gateProbeMu.Lock()
+				enter, release := gateProbeEnter, gateProbeRelease
+				gateProbeMu.Unlock()
+				enter <- struct{}{}
+				<-release
+				return "ok", nil
+			})
+	})
+	enter = make(chan struct{}, 1)
+	release = make(chan struct{})
+	gateProbeMu.Lock()
+	gateProbeEnter, gateProbeRelease = enter, release
+	gateProbeMu.Unlock()
+	return enter, release
+}
+
+// TestConcurrencyGate: with MaxInFlight=1 and one request parked inside
+// a handler, a second request whose client has given up is answered 503
+// instead of queueing forever.
+func TestConcurrencyGate(t *testing.T) {
+	gateEnter, gateRelease := registerGateProbe()
+	s, _ := testServer(t, Config{MaxInFlight: 1})
+
+	done := make(chan int, 1)
+	go func() {
+		rec := get(t, s, "/v1/analyses/serve_gate_probe")
+		done <- rec.Code
+	}()
+	<-gateEnter // the first request is now inside the gate
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("gated request = %d, want 503", rec.Code)
+	}
+	if got := s.Stats().RejectedBusy; got != 1 {
+		t.Errorf("rejected_busy = %d, want 1", got)
+	}
+
+	close(gateRelease)
+	if code := <-done; code != http.StatusOK {
+		t.Errorf("parked request finished with %d", code)
+	}
+}
+
+func TestWarm(t *testing.T) {
+	s, streams := testServer(t, Config{})
+	if err := s.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if streams.Load() != 1 {
+		t.Fatalf("Warm streamed %d times", streams.Load())
+	}
+	if rec := get(t, s, "/v1/analyses/funnel"); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if streams.Load() != 1 {
+		t.Errorf("first request after Warm re-ingested (streams = %d)", streams.Load())
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	var streams atomic.Int64
+	s := New(Config{
+		Base: countingSource{inner: core.SliceSource(testRuns(t)), streams: &streams},
+		Logf: logf,
+	})
+	get(t, s, "/v1/analyses/funnel?filter=vendor%3DAMD")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("logged %d lines, want 1", len(lines))
+	}
+	for _, want := range []string{"GET", "/v1/analyses/funnel", "200"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("log line %q missing %q", lines[0], want)
+		}
+	}
+}

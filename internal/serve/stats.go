@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// counters aggregates the serving metrics behind /v1/stats. All fields
+// are updated atomically from the request path.
+type counters struct {
+	requests    atomic.Int64
+	notModified atomic.Int64
+	errors      atomic.Int64 // responses with status >= 500
+	rejected    atomic.Int64 // 503s from the concurrency gate
+	inFlight    atomic.Int64
+}
+
+// StatsSnapshot is one point-in-time reading of the serving metrics,
+// the /v1/stats response body.
+type StatsSnapshot struct {
+	// UptimeSeconds since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests served (all endpoints, all statuses).
+	Requests int64 `json:"requests"`
+	// NotModified counts 304 responses — traffic served with zero
+	// recomputation.
+	NotModified int64 `json:"not_modified"`
+	// Errors counts 5xx responses.
+	Errors int64 `json:"errors"`
+	// RejectedBusy counts requests whose client gave up while waiting
+	// at the concurrency gate.
+	RejectedBusy int64 `json:"rejected_busy"`
+	// InFlight is the number of requests currently inside the gate.
+	InFlight int64 `json:"in_flight"`
+	// PoolEngines is the number of resident scope engines.
+	PoolEngines int `json:"pool_engines"`
+	// EngineBuilds counts engines built over the server's lifetime
+	// (PoolEngines plus evicted ones; single-flight keeps this at one
+	// per cold scope no matter the concurrency).
+	EngineBuilds int64 `json:"engine_builds"`
+	// PoolEvictions counts scopes dropped past the LRU bound.
+	PoolEvictions int64 `json:"pool_evictions"`
+	// Analyses is the registry size, read live so late registrations
+	// stay consistent with the /v1/analyses listing.
+	Analyses int `json:"analyses"`
+}
+
+// Stats returns a snapshot of the serving metrics.
+func (s *Server) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.counters.requests.Load(),
+		NotModified:   s.counters.notModified.Load(),
+		Errors:        s.counters.errors.Load(),
+		RejectedBusy:  s.counters.rejected.Load(),
+		InFlight:      s.counters.inFlight.Load(),
+		PoolEngines:   s.pool.len(),
+		EngineBuilds:  s.pool.builds.Load(),
+		PoolEvictions: s.pool.evictions.Load(),
+		Analyses:      len(analysis.Names()),
+	}
+}
