@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/parser"
@@ -271,6 +272,55 @@ func BenchmarkConfoundingScan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = analysis.ConfoundingScan(ds.Comparable, 2021)
+	}
+}
+
+// BenchmarkClusterKMeans: one seeded k-means++ partition of the full
+// comparable corpus (the "clusters" analysis minus the auto-k sweep).
+func BenchmarkClusterKMeans(b *testing.B) {
+	ds := dataset(b)
+	m, err := cluster.Extract(ds.Comparable, cluster.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := cluster.KMeansOptions{K: 6, Seed: 14}
+	res, err := cluster.KMeans(m, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum := cluster.NewResult("kmeans++", m, res.Labels, res.K, 0)
+	printOnce("cluster-kmeans", fmt.Sprintf(
+		"\n[CL] k-means++ k=%d on %d runs: SSE=%.1f silhouette=%.3f sizes=%v\n",
+		sum.K, len(m.Rows), sum.SSE, sum.Silhouette, sum.Sizes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(m, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterHAC: agglomerative clustering over a 256-run sample
+// (the merge loop is O(n²) memory and worse time, so the sample keeps
+// the regression signal without dominating the suite).
+func BenchmarkClusterHAC(b *testing.B) {
+	ds := dataset(b)
+	sample := ds.Comparable[:min(256, len(ds.Comparable))]
+	if len(sample) < 6 {
+		b.Skipf("only %d comparable runs", len(sample))
+	}
+	m, err := cluster.Extract(sample, cluster.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lk := range []cluster.Linkage{cluster.LinkageSingle, cluster.LinkageAverage} {
+		b.Run(lk.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.HAC(m, cluster.HACOptions{Linkage: lk, K: 6}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

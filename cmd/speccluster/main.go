@@ -1,0 +1,161 @@
+// Command speccluster groups the machine configurations of a corpus
+// into clusters and prints their phenotypes: dominant vendor, median
+// cores and efficiency, year range.
+//
+// The corpus flags are the ones every tool shares (internal/cliutil):
+// -in corpus directories or synth:<seed> specs, -cache, -filter,
+// -workers. Clustering runs over the comparable slice of the corpus —
+// the same 676-run population the paper's trend analyses use.
+//
+// -algo picks the algorithm. "kmeans" (default) is k-means++ with
+// deterministic seeding: -seed seeds both the synthetic corpus and the
+// clustering RNG, and -k 0 auto-selects k by the best silhouette over
+// k = 2…8. "hac" is hierarchical agglomerative clustering under
+// -linkage single/complete/average; cut the dendrogram either at -k
+// clusters or at the -cut distance threshold. -features restricts the
+// standardized feature vector; -sweep prints the elbow sweep
+// (within-cluster SSE + silhouette per k); -json emits everything
+// machine-readable, including per-run assignments.
+//
+// Usage:
+//
+//	speccluster [-in corpus/]... [-filter expr] [-k 4] [-json]
+//	speccluster -algo hac -linkage complete -cut 2.5
+//	speccluster -features score,cores,year -sweep
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// output is the -json document: the shared Result shape plus the
+// phenotype profiles and, when requested, the elbow sweep.
+type output struct {
+	cluster.Result
+	Profiles []cluster.Profile    `json:"profiles"`
+	Sweep    []cluster.SweepPoint `json:"sweep,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("speccluster: ")
+	corpus := cliutil.RegisterCorpusFlags(flag.CommandLine)
+	k := flag.Int("k", 0, "cluster count (0 = auto-select by silhouette over k = 2…8; hac requires -k or -cut)")
+	algo := flag.String("algo", "kmeans", "clustering algorithm: kmeans or hac")
+	linkage := flag.String("linkage", "average", "hac linkage: single, complete, or average")
+	cut := flag.Float64("cut", 0, "hac dendrogram distance threshold (overrides -k)")
+	features := flag.String("features", "",
+		"comma-separated feature subset (default all: "+strings.Join(cluster.FeatureNames(), ",")+")")
+	sweep := flag.Bool("sweep", false, "also compute the k sweep (SSE + silhouette, k = 2…8)")
+	asJSON := flag.Bool("json", false, "emit JSON (with per-run assignments) instead of text")
+	flag.Parse()
+
+	src, err := corpus.Source()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := core.New(core.WithSource(src), core.WithWorkers(corpus.Workers))
+	ds, err := eng.Dataset()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var selected []string
+	for _, f := range strings.Split(*features, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			selected = append(selected, f)
+		}
+	}
+	m, err := cluster.Extract(ds.Comparable, cluster.Options{Features: selected})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(m.Rows) < 2 {
+		log.Fatalf("only %d comparable runs — nothing to cluster", len(m.Rows))
+	}
+
+	var sweepPts []cluster.SweepPoint
+	needSweep := *sweep || (*algo == "kmeans" && *k == 0)
+	if needSweep {
+		kmax := min(8, len(m.Rows))
+		sweepPts, err = cluster.SweepK(m, 2, kmax, corpus.Seed, corpus.Workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var labels []int
+	var kk int
+	switch *algo {
+	case "kmeans":
+		if kk = *k; kk == 0 {
+			kk = cluster.AutoK(sweepPts)
+		}
+		res, err := cluster.KMeans(m, cluster.KMeansOptions{
+			K: kk, Seed: corpus.Seed, Workers: corpus.Workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels = res.Labels
+	case "hac":
+		lk, err := cluster.ParseLinkage(*linkage)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *k == 0 && *cut == 0 {
+			log.Fatal("-algo hac needs -k or -cut")
+		}
+		res, err := cluster.HAC(m, cluster.HACOptions{
+			Linkage: lk, K: *k, Cut: *cut, Workers: corpus.Workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels, kk = res.Labels, res.K
+	default:
+		log.Fatalf("unknown -algo %q (kmeans, hac)", *algo)
+	}
+
+	algoName := *algo
+	if algoName == "kmeans" {
+		algoName = "kmeans++"
+	} else {
+		algoName = "hac/" + *linkage
+	}
+	out := output{
+		Result:   cluster.NewResult(algoName, m, labels, kk, corpus.Workers),
+		Profiles: cluster.Profiles(ds.Comparable, labels, kk),
+		Sweep:    sweepPts,
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Fprintf(w, "%d comparable runs over features [%s]\n\n",
+		len(m.Rows), strings.Join(m.Features, ", "))
+	if *sweep {
+		fmt.Fprint(w, cluster.SweepTable(sweepPts))
+		fmt.Fprintln(w)
+	}
+	fmt.Fprint(w, cluster.ProfileSet{
+		Algo:       out.Algo,
+		K:          out.K,
+		Silhouette: out.Silhouette,
+		Profiles:   out.Profiles,
+	}.String())
+}

@@ -1,0 +1,20 @@
+// Package cluster groups machine configurations of the SPEC Power
+// corpus: it turns parsed runs into standardized numeric feature
+// vectors (Extract) and partitions them with seeded k-means++ (KMeans)
+// or hierarchical agglomerative clustering under the Lance–Williams
+// update (HAC), in the spirit of the phenotype and outbreak-detection
+// clustering the source paper's related work builds on.
+//
+// Quality is judged by within-cluster SSE and the silhouette score
+// (Silhouette, SweepK, AutoK), and clusters are summarized into
+// human-readable phenotypes (Profiles): dominant vendor, median
+// cores/score, year range. The pinned corpus analyses — "clusters",
+// "cluster-profiles", "cluster-sweep" — are registered with the
+// analysis registry in this package's init, so they flow through
+// core.Engine, specanalyze, and specserve like every other analysis.
+//
+// Everything is deterministic under a seed: the k-means RNG is private
+// (never the global rand), parallel phases write disjoint indexes, and
+// all reductions run in fixed index order, so equal seeds and corpora
+// give byte-identical JSON.
+package cluster

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// Linkage selects how HAC measures the distance between clusters.
+type Linkage int
+
+// The supported linkage criteria.
+const (
+	LinkageAverage  Linkage = iota // UPGMA: size-weighted mean pair distance
+	LinkageSingle                  // nearest pair
+	LinkageComplete                // farthest pair
+)
+
+// String returns the flag spelling of the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case LinkageAverage:
+		return "average"
+	case LinkageSingle:
+		return "single"
+	case LinkageComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// ParseLinkage resolves a flag spelling to a Linkage.
+func ParseLinkage(s string) (Linkage, error) {
+	switch s {
+	case "average":
+		return LinkageAverage, nil
+	case "single":
+		return LinkageSingle, nil
+	case "complete":
+		return LinkageComplete, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown linkage %q (average, single, complete)", s)
+	}
+}
+
+// HACOptions configures one agglomerative run. Exactly one stopping
+// rule applies: a positive Cut stops merging once the next merge would
+// exceed that distance (the MicroTrace-style threshold cut); otherwise
+// merging stops at K clusters.
+type HACOptions struct {
+	Linkage Linkage
+	// K is the target cluster count, used when Cut is zero.
+	K int
+	// Cut is the dendrogram distance threshold; > 0 overrides K.
+	Cut float64
+	// Workers bounds the parallel distance-matrix build (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Merge is one dendrogram step: clusters represented by rows A and B
+// (A < B, each the smallest row index of its cluster) merged at the
+// given linkage distance into a cluster of Size members.
+type Merge struct {
+	A, B int
+	Dist float64
+	Size int
+}
+
+// HACResult is one cut dendrogram.
+type HACResult struct {
+	// K is the resulting cluster count.
+	K int
+	// Labels assigns each matrix row a cluster in [0, K), numbered by
+	// ascending smallest member row, so equal inputs give equal labels.
+	Labels []int
+	// Merges is the dendrogram prefix that was applied, in merge order.
+	Merges []Merge
+}
+
+// HAC clusters the matrix rows bottom-up: every row starts as its own
+// cluster and the closest pair merges until the stopping rule bites.
+// Cluster distances update through the Lance–Williams recurrence, so
+// single, complete, and average linkage share one O(n²)-memory
+// implementation. The pairwise distance matrix builds on the worker
+// pool; the merge loop itself is serial and index-ordered, hence
+// deterministic.
+func HAC(m *Matrix, opt HACOptions) (*HACResult, error) {
+	n := len(m.Rows)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: HAC on an empty matrix")
+	}
+	if opt.Cut < 0 {
+		return nil, fmt.Errorf("cluster: negative cut %v", opt.Cut)
+	}
+	if opt.Cut == 0 && (opt.K < 1 || opt.K > n) {
+		return nil, fmt.Errorf("cluster: k = %d outside [1, %d rows]", opt.K, n)
+	}
+	switch opt.Linkage {
+	case LinkageAverage, LinkageSingle, LinkageComplete:
+	default:
+		return nil, fmt.Errorf("cluster: unknown linkage %d", int(opt.Linkage))
+	}
+
+	// Full symmetric distance matrix; rows fill in parallel (disjoint
+	// writes), the mirror pass is serial.
+	dm := make([][]float64, n)
+	_ = par.ForEach(n, opt.Workers, func(i int) error {
+		row := make([]float64, n)
+		for j := 0; j < i; j++ {
+			row[j] = stats.EuclideanDist(m.Rows[i], m.Rows[j])
+		}
+		dm[i] = row
+		return nil
+	})
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dm[i][j] = dm[j][i]
+		}
+	}
+
+	active := make([]bool, n)
+	size := make([]int, n)
+	members := make([][]int, n)
+	for i := 0; i < n; i++ {
+		active[i] = true
+		size[i] = 1
+		members[i] = []int{i}
+	}
+	// nearest[i] caches the closest active partner of active cluster i.
+	nearest := make([]int, n)
+	for i := 0; i < n; i++ {
+		nearest[i] = scanNearest(dm, active, i)
+	}
+
+	res := &HACResult{}
+	clusters := n
+	targetK := opt.K
+	if opt.Cut > 0 {
+		targetK = 1
+	}
+	for clusters > targetK {
+		// The globally closest pair, ties to the lowest representative.
+		best := -1
+		for i := 0; i < n; i++ {
+			if !active[i] || nearest[i] < 0 {
+				continue
+			}
+			if best < 0 || dm[i][nearest[i]] < dm[best][nearest[best]] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // single active cluster
+		}
+		i, j := best, nearest[best]
+		if j < i {
+			i, j = j, i
+		}
+		d := dm[i][j]
+		if opt.Cut > 0 && d > opt.Cut {
+			break
+		}
+		// Lance–Williams: fold cluster j into i, keeping the smaller
+		// representative index.
+		for k := 0; k < n; k++ {
+			if !active[k] || k == i || k == j {
+				continue
+			}
+			dik, djk := dm[i][k], dm[j][k]
+			var nd float64
+			switch opt.Linkage {
+			case LinkageSingle:
+				nd = min(dik, djk)
+			case LinkageComplete:
+				nd = max(dik, djk)
+			case LinkageAverage:
+				si, sj := float64(size[i]), float64(size[j])
+				nd = (si*dik + sj*djk) / (si + sj)
+			}
+			dm[i][k], dm[k][i] = nd, nd
+		}
+		active[j] = false
+		size[i] += size[j]
+		members[i] = append(members[i], members[j]...)
+		res.Merges = append(res.Merges, Merge{A: i, B: j, Dist: d, Size: size[i]})
+		clusters--
+		// Refresh the nearest cache: i's own partner always, and any
+		// cluster whose cached partner was i or j (their distance to i
+		// changed, and j is gone); everyone else can only have gotten
+		// closer to i, which a cheap comparison catches.
+		nearest[i] = scanNearest(dm, active, i)
+		for k := 0; k < n; k++ {
+			if !active[k] || k == i {
+				continue
+			}
+			if nearest[k] == i || nearest[k] == j {
+				nearest[k] = scanNearest(dm, active, k)
+			} else if nearest[k] >= 0 && dm[k][i] < dm[k][nearest[k]] {
+				nearest[k] = i
+			}
+		}
+	}
+
+	// Label clusters by ascending representative (= smallest member) so
+	// numbering is reproducible.
+	reps := make([]int, 0, clusters)
+	for i := 0; i < n; i++ {
+		if active[i] {
+			reps = append(reps, i)
+		}
+	}
+	sort.Ints(reps)
+	res.K = len(reps)
+	res.Labels = make([]int, n)
+	for label, rep := range reps {
+		for _, row := range members[rep] {
+			res.Labels[row] = label
+		}
+	}
+	return res, nil
+}
+
+// scanNearest finds the closest active partner of i (ties to the
+// lowest index), or -1 when i is the only active cluster.
+func scanNearest(dm [][]float64, active []bool, i int) int {
+	best := -1
+	for j := range active {
+		if !active[j] || j == i {
+			continue
+		}
+		if best < 0 || dm[i][j] < dm[i][best] {
+			best = j
+		}
+	}
+	return best
+}

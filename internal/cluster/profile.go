@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Profile is one cluster phenotype: the human-readable summary of the
+// configurations a cluster groups, in raw (unstandardized) units.
+type Profile struct {
+	// Cluster is the label; Size its member count; Share its fraction
+	// of the clustered corpus.
+	Cluster int
+	Size    int
+	Share   float64
+	// DominantVendor is the most common CPU vendor and VendorShare its
+	// within-cluster share.
+	DominantVendor string
+	VendorShare    float64
+	// Medians of the headline configuration features (0 when no member
+	// reports the value).
+	MedianScore float64 // ssj_ops/W
+	MedianCores float64
+	MedianGHz   float64
+	MedianMemGB float64
+	// YearMin and YearMax bound the members' hardware availability
+	// years (0 when unreported).
+	YearMin, YearMax int
+}
+
+// Profiles summarizes a partition of runs into per-cluster phenotypes,
+// ordered by cluster label. Labels must be in [0, k); len(labels) must
+// equal len(runs).
+func Profiles(runs []*model.Run, labels []int, k int) []Profile {
+	byCluster := make([][]*model.Run, k)
+	for i, r := range runs {
+		byCluster[labels[i]] = append(byCluster[labels[i]], r)
+	}
+	out := make([]Profile, k)
+	for c, members := range byCluster {
+		out[c] = profileOf(c, members, len(runs))
+	}
+	return out
+}
+
+func profileOf(label int, members []*model.Run, total int) Profile {
+	p := Profile{Cluster: label, Size: len(members)}
+	if len(members) == 0 {
+		return p
+	}
+	if total > 0 {
+		p.Share = float64(len(members)) / float64(total)
+	}
+	scores := make([]float64, 0, len(members))
+	cores := make([]float64, 0, len(members))
+	ghz := make([]float64, 0, len(members))
+	mem := make([]float64, 0, len(members))
+	vendors := map[model.CPUVendor]int{}
+	for _, r := range members {
+		scores = append(scores, r.OverallOpsPerWatt())
+		if r.TotalCores > 0 {
+			cores = append(cores, float64(r.TotalCores))
+		}
+		if r.NominalGHz > 0 {
+			ghz = append(ghz, r.NominalGHz)
+		}
+		if r.MemGB > 0 {
+			mem = append(mem, float64(r.MemGB))
+		}
+		vendors[r.CPUVendor]++
+		if y := r.HWAvail.Year; y > 0 {
+			if p.YearMin == 0 || y < p.YearMin {
+				p.YearMin = y
+			}
+			if y > p.YearMax {
+				p.YearMax = y
+			}
+		}
+	}
+	p.MedianScore = medianOrZero(scores)
+	p.MedianCores = medianOrZero(cores)
+	p.MedianGHz = medianOrZero(ghz)
+	p.MedianMemGB = medianOrZero(mem)
+	// Dominant vendor, ties to the lower enum value (a fixed order, so
+	// profiles are deterministic).
+	bestVendor, bestCount := model.VendorUnknown, -1
+	for v := model.VendorUnknown; v <= model.VendorOther; v++ {
+		if n := vendors[v]; n > bestCount {
+			bestVendor, bestCount = v, n
+		}
+	}
+	p.DominantVendor = bestVendor.String()
+	p.VendorShare = float64(bestCount) / float64(len(members))
+	return p
+}
+
+// medianOrZero is the median of the finite entries, or 0 when there
+// are none — profiles must marshal to JSON, which rejects NaN.
+func medianOrZero(xs []float64) float64 {
+	clean := stats.DropNaN(xs)
+	if len(clean) == 0 {
+		return 0
+	}
+	m := stats.Quantile(clean, 0.5)
+	if math.IsNaN(m) {
+		return 0
+	}
+	return m
+}
+
+// ProfileSet is the "cluster-profiles" analysis result: the phenotype
+// table plus the partition it came from.
+type ProfileSet struct {
+	// Algo names the clustering that produced the partition.
+	Algo string
+	// K is the cluster count; Silhouette the partition's mean
+	// silhouette coefficient.
+	K          int
+	Silhouette float64
+	Profiles   []Profile
+}
+
+// String renders the phenotype table for terminal reports.
+func (ps ProfileSet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s, k=%d, silhouette %.3f\n", ps.Algo, ps.K, ps.Silhouette)
+	if len(ps.Profiles) == 0 {
+		b.WriteString("(corpus too small to cluster)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-8s %5s %6s  %-7s %6s  %10s %6s %5s %7s  %s\n",
+		"cluster", "n", "share", "vendor", "v.shr", "med ops/W", "cores", "GHz", "mem GB", "years")
+	for _, p := range ps.Profiles {
+		fmt.Fprintf(&b, "%-8d %5d %5.1f%%  %-7s %5.0f%%  %10.0f %6.0f %5.2f %7.0f  %d–%d\n",
+			p.Cluster, p.Size, 100*p.Share, p.DominantVendor, 100*p.VendorShare,
+			p.MedianScore, p.MedianCores, p.MedianGHz, p.MedianMemGB,
+			p.YearMin, p.YearMax)
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package cluster_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// synthDataset classifies the default synthetic corpus — the "synth:"
+// corpus the acceptance criteria cluster over.
+func synthDataset(t *testing.T) *analysis.Dataset {
+	t.Helper()
+	runs, err := synth.Generate(synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := analysis.BuildDataset(runs)
+	ds.Workers = 4
+	return ds
+}
+
+func lookup(t *testing.T, name string) analysis.Registration {
+	t.Helper()
+	reg, ok := analysis.Lookup(name)
+	if !ok {
+		t.Fatalf("analysis %q not registered", name)
+	}
+	return reg
+}
+
+func TestClustersAnalysisOnSynthCorpus(t *testing.T) {
+	ds := synthDataset(t)
+	v, err := lookup(t, "clusters").Func(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := v.(cluster.Result)
+	if !ok {
+		t.Fatalf("clusters returned %T", v)
+	}
+	if res.Algo != "kmeans++" || res.K < 2 || res.K > 8 {
+		t.Errorf("algo/k = %s/%d", res.Algo, res.K)
+	}
+	if len(res.Assignments) != len(ds.Comparable) {
+		t.Errorf("%d assignments for %d comparable runs",
+			len(res.Assignments), len(ds.Comparable))
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+		if s == 0 {
+			t.Error("registered clustering produced an empty cluster")
+		}
+	}
+	if total != len(ds.Comparable) {
+		t.Errorf("sizes sum to %d, want %d", total, len(ds.Comparable))
+	}
+	if res.Silhouette <= 0 {
+		t.Errorf("silhouette = %v, want > 0 on the calibrated corpus", res.Silhouette)
+	}
+	if res.SSE <= 0 {
+		t.Errorf("SSE = %v", res.SSE)
+	}
+}
+
+func TestHACOnSynthCorpus(t *testing.T) {
+	ds := synthDataset(t)
+	m, err := cluster.Extract(ds.Comparable, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.HAC(m, cluster.HACOptions{
+		Linkage: cluster.LinkageAverage, K: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 5 {
+		t.Fatalf("K = %d", res.K)
+	}
+	if sil := cluster.Silhouette(m, res.Labels, res.K, 4); sil <= -1 || sil >= 1 {
+		t.Errorf("silhouette = %v out of range", sil)
+	}
+}
+
+func TestClusterProfilesAndSweepOnSynthCorpus(t *testing.T) {
+	ds := synthDataset(t)
+	v, err := lookup(t, "cluster-profiles").Func(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := v.(cluster.ProfileSet)
+	if ps.K < 2 || len(ps.Profiles) != ps.K {
+		t.Errorf("profile set: k=%d, %d profiles", ps.K, len(ps.Profiles))
+	}
+	for _, p := range ps.Profiles {
+		if p.Size == 0 || p.DominantVendor == "" {
+			t.Errorf("degenerate profile: %+v", p)
+		}
+	}
+	v, err = lookup(t, "cluster-sweep").Func(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := v.([]cluster.SweepPoint)
+	if len(sweep) != 9 || sweep[0].K != 2 || sweep[8].K != 10 {
+		t.Errorf("sweep shape: %+v", sweep)
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].SSE > sweep[0].SSE {
+			// SSE at higher k occasionally plateaus but must never beat
+			// k=2 badly; a gross inversion means broken bookkeeping.
+			t.Errorf("SSE grew from %v (k=2) to %v (k=%d)",
+				sweep[0].SSE, sweep[i].SSE, sweep[i].K)
+		}
+	}
+}
+
+// TestClustersTinyCorpus: filtered scopes can leave almost nothing;
+// the analyses must degrade to an empty result, not an error.
+func TestClustersTinyCorpus(t *testing.T) {
+	ds := analysis.BuildDataset(nil)
+	for _, name := range []string{"clusters", "cluster-profiles", "cluster-sweep"} {
+		if _, err := lookup(t, name).Func(ds); err != nil {
+			t.Errorf("%s on empty corpus: %v", name, err)
+		}
+	}
+	v, err := lookup(t, "clusters").Func(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := v.(cluster.Result); res.K != 0 || len(res.Assignments) != 0 {
+		t.Errorf("empty-corpus result: %+v", res)
+	}
+}
+
+// TestClustersJSONDeterministic is the determinism acceptance test:
+// the same seed and corpus must produce byte-identical "clusters" JSON
+// across repeated runs on fresh engines — under -race in CI, this also
+// guards against map-iteration order and global-rand leaks in the
+// parallel paths.
+func TestClustersJSONDeterministic(t *testing.T) {
+	var want []byte
+	for i := 0; i < 10; i++ {
+		eng := core.New(core.WithSeed(synth.DefaultSeed), core.WithWorkers(4))
+		var buf bytes.Buffer
+		if err := eng.WriteJSON(&buf, "clusters"); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = append([]byte(nil), buf.Bytes()...)
+			if len(want) == 0 {
+				t.Fatal("empty clusters JSON")
+			}
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("run %d: clusters JSON differs from run 0", i)
+		}
+	}
+}

@@ -279,7 +279,7 @@ func TestReportAnalysesRegistered(t *testing.T) {
 	for _, name := range []string{"funnel", "submissions", "fig1", "fig2",
 		"growth", "fig3", "top100", "fig4", "fig5", "idlehistory",
 		"changepoint", "fig6", "features", "trends", "ep", "confound",
-		"table1"} {
+		"cluster-profiles", "table1"} {
 		if !warm[name] {
 			t.Errorf("report section %q missing from the warm-up list", name)
 		}

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"sync"
 
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/report"
 )
 
@@ -49,67 +48,10 @@ func LoadRuns(dir string, workers int) ([]*model.Run, error) {
 	return runs, nil
 }
 
-// forEachParallel runs fn(0..n-1) on a bounded worker pool. On failure
-// it returns the error of the lowest failing index — not whichever
-// worker lost the race — so error reporting is deterministic. All
-// workers drain before returning; once an error at index i is recorded,
-// work at indexes above i may be skipped (indexes below i still run, in
-// case one of them fails too).
+// forEachParallel runs fn(0..n-1) on a bounded worker pool with
+// lowest-index-deterministic errors. The implementation lives in
+// internal/par so the clustering subsystem shares the same pool
+// semantics; this wrapper keeps core's internal call sites unchanged.
 func forEachParallel(n, workers int, fn func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if n == 0 {
-		return nil
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		mu       sync.Mutex
-		firstIdx = -1
-		firstErr error
-	)
-	record := func(i int, err error) {
-		mu.Lock()
-		if firstIdx == -1 || i < firstIdx {
-			firstIdx, firstErr = i, err
-		}
-		mu.Unlock()
-	}
-	skippable := func(i int) bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return firstIdx != -1 && i > firstIdx
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if skippable(i) {
-					continue
-				}
-				if err := fn(i); err != nil {
-					record(i, err)
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	return firstErr
+	return par.ForEach(n, workers, fn)
 }

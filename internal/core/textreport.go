@@ -9,6 +9,7 @@ import (
 	"unicode/utf8"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster"
 	"repro/internal/plot"
 	"repro/internal/speccpu"
 	"repro/internal/stats"
@@ -65,7 +66,7 @@ var trendYLabels = map[string]string{
 var reportAnalyses = []string{
 	"funnel", "submissions", "fig1", "fig2", "growth", "fig3", "top100",
 	"fig4", "fig5", "idlehistory", "changepoint", "fig6", "features",
-	"trends", "ep", "confound", "table1",
+	"trends", "ep", "confound", "cluster-profiles", "table1",
 }
 
 // WriteReport prints the full study — funnel, all six figures, Table I
@@ -211,6 +212,13 @@ func (e *Engine) WriteReport(w io.Writer) error {
 	sectionHdr("Correlation exploration since 2021 (vendor confounding)")
 	writeConfound(w, findings)
 
+	phenos, err := AnalysisAs[cluster.ProfileSet](e, "cluster-profiles")
+	if err != nil {
+		return err
+	}
+	sectionHdr("Configuration clusters (phenotypes)")
+	fmt.Fprint(w, phenos.String())
+
 	rows, err := AnalysisAs[[]speccpu.DuelRow](e, "table1")
 	if err != nil {
 		return err
@@ -274,6 +282,12 @@ func WriteAnalysisText(w io.Writer, res Result) error {
 			v.Metric, v.Year, v.P, v.Significant)
 	case []speccpu.DuelRow:
 		writeTable1(w, v)
+	case cluster.Result:
+		writeClusters(w, v)
+	case cluster.ProfileSet:
+		fmt.Fprint(w, v.String())
+	case []cluster.SweepPoint:
+		fmt.Fprint(w, cluster.SweepTable(v))
 	default:
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -354,6 +368,17 @@ func writeConfound(w io.Writer, findings []analysis.ConfoundFinding) {
 	}
 	fmt.Fprintln(w, "(the paper: \"our correlation analysis … remains inconclusive\" — "+
 		"pooled correlations collapse within vendor strata)")
+}
+
+func writeClusters(w io.Writer, res cluster.Result) {
+	fmt.Fprintf(w, "%s over [%s]\n", res.Algo, strings.Join(res.Features, ", "))
+	fmt.Fprintf(w, "k=%d  silhouette=%.3f  within-SSE=%.1f\n", res.K, res.Silhouette, res.SSE)
+	for c, size := range res.Sizes {
+		fmt.Fprintf(w, "  cluster %d: %4d runs\n", c, size)
+	}
+	if res.K == 0 {
+		fmt.Fprintln(w, "(corpus too small to cluster)")
+	}
 }
 
 func writeTable1(w io.Writer, rows []speccpu.DuelRow) {

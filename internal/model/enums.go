@@ -28,6 +28,10 @@ func (v CPUVendor) String() string {
 }
 
 // ParseCPUVendor classifies a free-form vendor or CPU-name string.
+// The Arm-ecosystem server vendors that appear in newer submissions —
+// Ampere (Altra), Arm-branded parts (Neoverse), and Fujitsu (A64FX) —
+// classify explicitly rather than through the catch-all, so a rename
+// of the fallback can never silently reclassify them.
 func ParseCPUVendor(s string) CPUVendor {
 	l := strings.ToLower(s)
 	switch {
@@ -36,6 +40,10 @@ func ParseCPUVendor(s string) CPUVendor {
 	case strings.Contains(l, "amd") || strings.Contains(l, "epyc") ||
 		strings.Contains(l, "opteron"):
 		return VendorAMD
+	case strings.Contains(l, "ampere") || strings.Contains(l, "altra") ||
+		strings.Contains(l, "arm") || strings.Contains(l, "neoverse") ||
+		strings.Contains(l, "fujitsu") || strings.Contains(l, "a64fx"):
+		return VendorOther
 	case l == "":
 		return VendorUnknown
 	default:

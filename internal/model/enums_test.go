@@ -14,6 +14,13 @@ func TestParseCPUVendor(t *testing.T) {
 		{"Quad-Core AMD Opteron(tm) Processor 2356", VendorAMD},
 		{"Sun UltraSPARC T2", VendorOther},
 		{"IBM POWER7", VendorOther},
+		// The Arm-ecosystem server vendors classify explicitly.
+		{"Ampere Altra Max M128-30", VendorOther},
+		{"Ampere", VendorOther},
+		{"Arm Neoverse N1", VendorOther},
+		{"Arm", VendorOther},
+		{"Fujitsu A64FX", VendorOther},
+		{"A64FX", VendorOther},
 		{"", VendorUnknown},
 	}
 	for _, c := range cases {

@@ -1,0 +1,75 @@
+// Package par holds the bounded-worker parallel loop shared by the
+// corpus pipeline (internal/core) and the clustering subsystem
+// (internal/cluster). It lives below both so either side can fan work
+// out without importing the other.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(0..n-1) on a bounded worker pool (workers <= 0 =
+// GOMAXPROCS). On failure it returns the error of the lowest failing
+// index — not whichever worker lost the race — so error reporting is
+// deterministic. All workers drain before returning; once an error at
+// index i is recorded, work at indexes above i may be skipped (indexes
+// below i still run, in case one of them fails too).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstIdx == -1 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	skippable := func(i int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstIdx != -1 && i > firstIdx
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if skippable(i) {
+					continue
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return firstErr
+}

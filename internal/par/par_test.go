@@ -1,0 +1,62 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsAll(t *testing.T) {
+	var visited [100]atomic.Bool
+	if err := ForEach(100, 8, func(i int) error {
+		if visited[i].Swap(true) {
+			t.Errorf("index %d visited twice", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range visited {
+		if !visited[i].Load() {
+			t.Errorf("index %d not visited", i)
+		}
+	}
+}
+
+func TestForEachLowestErrorWins(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(64, 8, func(i int) error {
+			switch i {
+			case 9:
+				return errLow
+			case 40:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: err = %v, want the lowest-index error", trial, err)
+		}
+	}
+}
+
+func TestForEachEmptyAndSequential(t *testing.T) {
+	wantErr := errors.New("boom")
+	if err := ForEach(0, 4, func(int) error { return wantErr }); err != nil {
+		t.Errorf("n=0 returned %v", err)
+	}
+	// workers=1 exercises the sequential fast path.
+	n := 0
+	if err := ForEach(5, 1, func(i int) error { n++; return nil }); err != nil || n != 5 {
+		t.Errorf("sequential path: n=%d err=%v", n, err)
+	}
+	if err := ForEach(5, 1, func(i int) error {
+		if i == 2 {
+			return wantErr
+		}
+		return nil
+	}); !errors.Is(err, wantErr) {
+		t.Errorf("sequential error = %v", err)
+	}
+}

@@ -621,3 +621,66 @@ func TestRequestLogging(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterAnalysisServed: the clustering subsystem is an ordinary
+// registry analysis as far as the server is concerned, so it inherits
+// the scoped engine pool and ETag/304 revalidation for free. This
+// pins that inheritance: a cold request computes and tags, the
+// revalidation transfers nothing, and the scope engine is reused.
+func TestClusterAnalysisServed(t *testing.T) {
+	s, streams := testServer(t, Config{})
+	rec := get(t, s, "/v1/analyses/clusters")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var body struct {
+		Name  string `json:"name"`
+		Value struct {
+			Algo        string  `json:"algo"`
+			K           int     `json:"k"`
+			Silhouette  float64 `json:"silhouette"`
+			Sizes       []int   `json:"sizes"`
+			Assignments []struct {
+				ID      string `json:"id"`
+				Cluster int    `json:"cluster"`
+			} `json:"assignments"`
+		} `json:"value"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Name != "clusters" || body.Value.Algo != "kmeans++" {
+		t.Errorf("body name/algo = %s/%s", body.Name, body.Value.Algo)
+	}
+	if body.Value.K < 2 {
+		t.Errorf("k = %d, want >= 2 on the test corpus", body.Value.K)
+	}
+	total := 0
+	for _, n := range body.Value.Sizes {
+		total += n
+	}
+	if total != len(body.Value.Assignments) || total == 0 {
+		t.Errorf("sizes sum %d, %d assignments", total, len(body.Value.Assignments))
+	}
+	// Revalidation: the ETag round-trips to a bodyless 304 without
+	// re-ingesting the corpus.
+	etag := rec.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("clusters response has no ETag")
+	}
+	streamsBefore := streams.Load()
+	second := get(t, s, "/v1/analyses/clusters", "If-None-Match", etag)
+	if second.Code != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", second.Code)
+	}
+	if second.Body.Len() != 0 {
+		t.Errorf("304 carried a %d-byte body", second.Body.Len())
+	}
+	if streams.Load() != streamsBefore {
+		t.Errorf("revalidation re-ingested the corpus")
+	}
+	// And a filtered scope clusters its slice through the same pool.
+	if rec := get(t, s, "/v1/analyses/clusters?filter=vendor%3DAMD"); rec.Code != http.StatusOK {
+		t.Errorf("filtered clusters status = %d: %s", rec.Code, rec.Body)
+	}
+}

@@ -1,0 +1,44 @@
+package stats
+
+import "math"
+
+// Standardize z-scores xs against the mean and sample standard
+// deviation of its finite entries: each finite value maps to
+// (x−mean)/std, while NaN and ±Inf entries pass through as NaN so
+// callers can apply their own missing-value policy afterwards.
+// Degenerate inputs stay centred instead of exploding: with fewer than
+// two finite entries, or a zero deviation, every finite entry maps
+// to 0. The input is not modified.
+func Standardize(xs []float64) []float64 {
+	m := Mean(xs)
+	sd := StdDev(xs)
+	degenerate := math.IsNaN(m) || math.IsNaN(sd) || sd == 0
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		switch {
+		case math.IsNaN(x) || math.IsInf(x, 0):
+			out[i] = math.NaN()
+		case degenerate:
+			out[i] = 0
+		default:
+			out[i] = (x - m) / sd
+		}
+	}
+	return out
+}
+
+// EuclideanDist returns the Euclidean (L2) distance between two vectors
+// of equal length. It panics on a length mismatch: rows compared here
+// come from one feature extraction, so differing lengths are a
+// programming error, not a data condition.
+func EuclideanDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: EuclideanDist on vectors of differing length")
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss)
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStandardize(t *testing.T) {
+	got := Standardize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// mean = 5, sample std ≈ 2.138; spot-check the first and last entry.
+	if math.Abs(got[0]-(2-5)/2.1380899352993947) > 1e-12 {
+		t.Errorf("z[0] = %v", got[0])
+	}
+	if math.Abs(got[7]-(9-5)/2.1380899352993947) > 1e-12 {
+		t.Errorf("z[7] = %v", got[7])
+	}
+	// The z-scores of the finite entries always re-centre to mean 0.
+	if m := Mean(got); math.Abs(m) > 1e-12 {
+		t.Errorf("mean of z-scores = %v, want 0", m)
+	}
+}
+
+func TestStandardizeNaNPassThrough(t *testing.T) {
+	in := []float64{1, math.NaN(), 3, math.Inf(1), 5}
+	got := Standardize(in)
+	if !math.IsNaN(got[1]) || !math.IsNaN(got[3]) {
+		t.Errorf("non-finite entries must stay NaN: %v", got)
+	}
+	// The finite entries are scored against the finite mean/std only.
+	want := Standardize([]float64{1, 3, 5})
+	for i, j := range []int{0, 2, 4} {
+		if math.Abs(got[j]-want[i]) > 1e-12 {
+			t.Errorf("z[%d] = %v, want %v", j, got[j], want[i])
+		}
+	}
+	// The input must not be modified.
+	if in[0] != 1 || in[2] != 3 || in[4] != 5 {
+		t.Errorf("input modified: %v", in)
+	}
+}
+
+func TestStandardizeDegenerate(t *testing.T) {
+	for name, in := range map[string][]float64{
+		"empty":         {},
+		"single":        {42},
+		"zero-variance": {3, 3, 3, 3},
+		"all-nan":       {math.NaN(), math.NaN()},
+	} {
+		got := Standardize(in)
+		if len(got) != len(in) {
+			t.Fatalf("%s: len = %d, want %d", name, len(got), len(in))
+		}
+		for i, z := range got {
+			if math.IsNaN(in[i]) {
+				if !math.IsNaN(z) {
+					t.Errorf("%s: z[%d] = %v, want NaN", name, i, z)
+				}
+			} else if z != 0 {
+				t.Errorf("%s: z[%d] = %v, want 0", name, i, z)
+			}
+		}
+	}
+}
+
+func TestEuclideanDist(t *testing.T) {
+	if d := EuclideanDist([]float64{0, 0}, []float64{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("3-4-5 distance = %v", d)
+	}
+	if d := EuclideanDist([]float64{1, 2, 3}, []float64{1, 2, 3}); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if d := EuclideanDist(nil, nil); d != 0 {
+		t.Errorf("empty distance = %v", d)
+	}
+}
+
+func TestEuclideanDistMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	EuclideanDist([]float64{1}, []float64{1, 2})
+}
