@@ -665,6 +665,64 @@ func BenchmarkServeAnalysis(b *testing.B) {
 	})
 }
 
+// BenchmarkParamMemoization (D11): one parameterized clusters request
+// (k=4, no auto-k sweep) through Engine.RunRequests. cold pays for
+// everything on a fresh engine each iteration — ingestion plus the
+// clustering itself; warm-hit repeats the identical request against a
+// resident engine, so it is a memo read (the canonical param string is
+// the cache key); warm-miss asks a resident engine for a fresh
+// parameterization (a new seed every iteration), isolating the
+// incremental cost of one more scenario: the clustering, but no
+// re-ingestion.
+func BenchmarkParamMemoization(b *testing.B) {
+	reg, ok := analysis.Lookup("clusters")
+	if !ok {
+		b.Fatal("clusters not registered")
+	}
+	resolve := func(b *testing.B, raw map[string]string) core.Request {
+		params, err := reg.Params.Resolve(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return core.Request{Name: "clusters", Params: params}
+	}
+	req := resolve(b, map[string]string{"k": "4"})
+	raw := dataset(b).Raw
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := core.New(core.WithSource(core.SliceSource(raw)))
+			if _, err := eng.RunRequests(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-hit", func(b *testing.B) {
+		eng := core.New(core.WithSource(core.SliceSource(raw)))
+		if _, err := eng.RunRequests(req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunRequests(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-miss", func(b *testing.B) {
+		eng := core.New(core.WithSource(core.SliceSource(raw)))
+		if _, err := eng.RunRequests(req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fresh := resolve(b, map[string]string{"k": "4", "seed": fmt.Sprint(100 + i)})
+			if _, err := eng.RunRequests(fresh); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkCorpusGeneration measures full 1017-run corpus synthesis.
 func BenchmarkCorpusGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -10,7 +10,11 @@
 // repeat runs skip the text parser; -filter slices the corpus with a
 // predicate expression ("vendor=AMD,since=2021" — see core.ParseFilter).
 // -only selects individual analyses by registry name (see -list);
-// -json switches to machine-readable output. The corpus flags are
+// -json switches to machine-readable output. Analyses that declare
+// typed parameters (see -list, or GET /v1/analyses on specserve) take
+// per-run values through the repeatable -p name.key=value flag —
+// assignments are validated against the declared schema, exactly as
+// the HTTP server validates query parameters. The corpus flags are
 // shared with specserve (internal/cliutil), which serves the same
 // analyses over HTTP instead of a one-shot report.
 //
@@ -18,6 +22,7 @@
 //
 //	specanalyze [-in corpus/]... [-in synth:14] [-cache] [-filter expr]
 //	            [-seed 14] [-only fig3,funnel] [-json] [-list]
+//	            [-p clusters.k=5] [-p clusters.linkage=average]
 package main
 
 import (
@@ -37,15 +42,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("specanalyze: ")
 	corpus := cliutil.RegisterCorpusFlags(flag.CommandLine)
+	params := cliutil.RegisterParamFlags(flag.CommandLine)
 	only := flag.String("only", "", "comma-separated analysis names to run (empty = full report)")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of text")
-	list := flag.Bool("list", false, "list registered analyses and exit")
+	list := flag.Bool("list", false, "list registered analyses (and their parameters) and exit")
 	flag.Parse()
 
 	if *list {
 		for _, name := range analysis.Names() {
 			reg, _ := analysis.Lookup(name)
-			fmt.Printf("%-12s %s\n", name, reg.Description)
+			fmt.Printf("%-16s %s\n", name, reg.Description)
+			for _, par := range reg.Params {
+				line := fmt.Sprintf("  -p %s.%s (%s", name, par.Name, par.Kind)
+				if def := par.DefaultString(); def != "" {
+					line += ", default " + def
+				}
+				line += ")"
+				if par.Description != "" {
+					line += "  " + par.Description
+				}
+				fmt.Println(line)
+			}
 		}
 		return
 	}
@@ -64,16 +81,20 @@ func main() {
 			}
 		}
 	}
+	reqs, err := params.Requests(names)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	switch {
 	case *asJSON:
-		if err := eng.WriteJSON(w, names...); err != nil {
+		if err := eng.WriteJSONRequests(w, reqs...); err != nil {
 			log.Fatal(err)
 		}
 	case len(names) > 0:
-		results, err := eng.Run(names...)
+		results, err := eng.RunRequests(reqs...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -83,6 +104,12 @@ func main() {
 			}
 		}
 	default:
+		// The curated text report renders fixed sections with default
+		// parameters; silently ignoring -p there would be worse than
+		// refusing.
+		if len(params) > 0 {
+			log.Fatal("-p needs -only or -json (the full text report always renders defaults)")
+		}
 		if err := eng.WriteReport(w); err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,14 @@
 // -workers. Clustering runs over the comparable slice of the corpus —
 // the same 676-run population the paper's trend analyses use.
 //
+// The clustering flags are a thin skin over the parameter schema the
+// "clusters"/"cluster-profiles"/"cluster-sweep" registry analyses
+// declare: each flag becomes a typed parameter assignment, resolved
+// and validated exactly as specanalyze -p and the specserve query
+// string are, and the computation itself runs through the shared
+// engine path (so a bad value is a flag error here and a 400 there,
+// never a panic).
+//
 // -algo picks the algorithm. "kmeans" (default) is k-means++ with
 // deterministic seeding: -seed seeds both the synthetic corpus and the
 // clustering RNG, and -k 0 auto-selects k by the best silhouette over
@@ -31,8 +39,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -44,6 +54,21 @@ type output struct {
 	cluster.Result
 	Profiles []cluster.Profile    `json:"profiles"`
 	Sweep    []cluster.SweepPoint `json:"sweep,omitempty"`
+}
+
+// resolve builds the parameter bag of one registered analysis from raw
+// flag values, exiting with a flag-style error on anything the schema
+// rejects.
+func resolve(name string, raw map[string]string) core.Request {
+	reg, ok := analysis.Lookup(name)
+	if !ok {
+		log.Fatalf("analysis %q not registered", name)
+	}
+	params, err := reg.Params.Resolve(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return core.Request{Name: name, Params: params}
 }
 
 func main() {
@@ -64,76 +89,51 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := core.New(core.WithSource(src), core.WithWorkers(corpus.Workers))
-	ds, err := eng.Dataset()
-	if err != nil {
-		log.Fatal(err)
+	// The flags become one parameter bag shared by "clusters" and
+	// "cluster-profiles" (same schema, same partition), so both report
+	// the same scenario.
+	raw := map[string]string{
+		"k":        strconv.Itoa(*k),
+		"algo":     *algo,
+		"linkage":  *linkage,
+		"cut":      strconv.FormatFloat(*cut, 'g', -1, 64),
+		"seed":     strconv.FormatInt(corpus.Seed, 10),
+		"features": *features,
 	}
-	var selected []string
-	for _, f := range strings.Split(*features, ",") {
-		if f = strings.TrimSpace(f); f != "" {
-			selected = append(selected, f)
-		}
+	reqs := []core.Request{
+		resolve("clusters", raw),
+		resolve("cluster-profiles", raw),
 	}
-	m, err := cluster.Extract(ds.Comparable, cluster.Options{Features: selected})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if len(m.Rows) < 2 {
-		log.Fatalf("only %d comparable runs — nothing to cluster", len(m.Rows))
-	}
-
-	var sweepPts []cluster.SweepPoint
+	// The sweep rides along whenever it informed the partition: asked
+	// for explicitly, or implicitly behind auto-k — matching the JSON
+	// document this command has always emitted in its default mode.
 	needSweep := *sweep || (*algo == "kmeans" && *k == 0)
 	if needSweep {
-		kmax := min(8, len(m.Rows))
-		sweepPts, err = cluster.SweepK(m, 2, kmax, corpus.Seed, corpus.Workers)
-		if err != nil {
-			log.Fatal(err)
-		}
+		reqs = append(reqs, resolve("cluster-sweep", map[string]string{
+			"seed":     raw["seed"],
+			"features": raw["features"],
+			"kmax":     "8",
+		}))
 	}
 
-	var labels []int
-	var kk int
-	switch *algo {
-	case "kmeans":
-		if kk = *k; kk == 0 {
-			kk = cluster.AutoK(sweepPts)
-		}
-		res, err := cluster.KMeans(m, cluster.KMeansOptions{
-			K: kk, Seed: corpus.Seed, Workers: corpus.Workers})
-		if err != nil {
-			log.Fatal(err)
-		}
-		labels = res.Labels
-	case "hac":
-		lk, err := cluster.ParseLinkage(*linkage)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if *k == 0 && *cut == 0 {
-			log.Fatal("-algo hac needs -k or -cut")
-		}
-		res, err := cluster.HAC(m, cluster.HACOptions{
-			Linkage: lk, K: *k, Cut: *cut, Workers: corpus.Workers})
-		if err != nil {
-			log.Fatal(err)
-		}
-		labels, kk = res.Labels, res.K
-	default:
-		log.Fatalf("unknown -algo %q (kmeans, hac)", *algo)
-	}
-
-	algoName := *algo
-	if algoName == "kmeans" {
-		algoName = "kmeans++"
-	} else {
-		algoName = "hac/" + *linkage
+	eng := core.New(core.WithSource(src), core.WithWorkers(corpus.Workers))
+	results, err := eng.RunRequests(reqs...)
+	if err != nil {
+		log.Fatal(err)
 	}
 	out := output{
-		Result:   cluster.NewResult(algoName, m, labels, kk, corpus.Workers),
-		Profiles: cluster.Profiles(ds.Comparable, labels, kk),
-		Sweep:    sweepPts,
+		Result:   results[0].Value.(cluster.Result),
+		Profiles: results[1].Value.(cluster.ProfileSet).Profiles,
+	}
+	if needSweep {
+		out.Sweep = results[2].Value.([]cluster.SweepPoint)
+	}
+	if out.K == 0 {
+		n := 0
+		if ds, err := eng.Dataset(); err == nil { // memoized: a cache read
+			n = len(ds.Comparable)
+		}
+		log.Fatalf("only %d comparable runs — nothing to cluster", n)
 	}
 
 	w := bufio.NewWriter(os.Stdout)
@@ -147,9 +147,9 @@ func main() {
 		return
 	}
 	fmt.Fprintf(w, "%d comparable runs over features [%s]\n\n",
-		len(m.Rows), strings.Join(m.Features, ", "))
+		len(out.Assignments), strings.Join(out.Features, ", "))
 	if *sweep {
-		fmt.Fprint(w, cluster.SweepTable(sweepPts))
+		fmt.Fprint(w, cluster.SweepTable(out.Sweep))
 		fmt.Fprintln(w)
 	}
 	fmt.Fprint(w, cluster.ProfileSet{

@@ -3,15 +3,19 @@
 // (internal/cliutil), exposing
 //
 //	GET /healthz                      liveness
-//	GET /v1/analyses                  registry listing
+//	GET /v1/analyses                  registry listing with parameter schemas
 //	GET /v1/analyses/{name}?filter=   one analysis over a corpus slice
 //	GET /v1/report?filter=            the full text report
 //	GET /v1/stats                     serving metrics
 //
 // Each distinct ?filter= scope gets its own lazily built, memoized
 // engine from an LRU-bounded pool (single-flight construction, shared
-// ingestion), and responses carry strong ETags so repeat traffic is
-// answered 304 Not Modified without recomputation — see internal/serve.
+// ingestion). Analyses with declared parameters take them as further
+// query keys (/v1/analyses/clusters?filter=vendor=amd&k=5), validated
+// against the registered schema — bad input is a 400 with the schema
+// echoed — and each parameterization is memoized and ETagged
+// independently, so repeat traffic is answered 304 Not Modified
+// without recomputation — see internal/serve.
 // The -filter flag pre-slices the corpus every request sees;
 // per-request ?filter= expressions compose on top of it.
 //

@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is the value type of a declared parameter.
+type Kind int
+
+// The supported parameter kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+	KindBool
+	KindEnum
+	KindStringList
+)
+
+// String returns the schema spelling of the kind, as echoed by the
+// HTTP listing and error responses.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindEnum:
+		return "enum"
+	case KindStringList:
+		return "string-list"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Param declares one typed parameter of an analysis: its name, kind,
+// default, and (optionally) an enum domain or a validation hook. The
+// declaration is the single source of truth every surface shares — the
+// HTTP server parses query strings against it, the CLIs parse -p
+// assignments against it, and the engine keys its memo cache by the
+// canonicalized values.
+type Param struct {
+	// Name is the key clients pass (?k=5, -p clusters.k=5).
+	Name string
+	// Kind selects how raw string inputs parse.
+	Kind Kind
+	// Description documents the knob in listings and usage strings.
+	Description string
+	// Default is the value used when the parameter is not supplied:
+	// int/int64, float64, string, bool, or []string to match Kind
+	// (nil = the kind's zero value). A request that spells out the
+	// default canonicalizes identically to one that omits it.
+	Default any
+	// Enum is the allowed value set for KindEnum (matched
+	// case-insensitively; the canonical spelling is the listed one).
+	Enum []string
+	// Validate, when non-nil, rejects parsed values the kind alone
+	// cannot (ranges, known feature names, …). It receives the typed
+	// value: int64, float64, string, bool, or []string.
+	Validate func(v any) error
+}
+
+// Params is a keyed, canonicalized bag of resolved parameter values, as
+// produced by Schema.Resolve and passed to every analysis Func. The
+// zero Params is valid and means "all defaults" — engines resolve it
+// against the registration's schema before invoking the analysis.
+type Params struct {
+	values    map[string]any
+	canonical string
+}
+
+// Canonical returns the parameter bag's identity string: the
+// non-default assignments, sorted by name, joined "k=v&k=v". Two
+// requests with equal canonical strings denote the same computation —
+// the engine memo cache and the HTTP ETags key by it — and a request
+// that only spells out defaults canonicalizes to "".
+func (p Params) Canonical() string { return p.canonical }
+
+// IsZero reports whether the bag is the zero value (never resolved).
+func (p Params) IsZero() bool { return p.values == nil }
+
+func (p Params) value(name string) any {
+	v, ok := p.values[name]
+	if !ok {
+		panic(fmt.Sprintf("analysis: parameter %q not in schema (have %v)", name, p.values))
+	}
+	return v
+}
+
+// Int returns a KindInt parameter's value. Like every typed getter, it
+// panics on a name the schema does not declare: analyses read their own
+// declared parameters, so a miss is a programming error.
+func (p Params) Int(name string) int { return int(p.value(name).(int64)) }
+
+// Int64 returns a KindInt parameter's value at full width.
+func (p Params) Int64(name string) int64 { return p.value(name).(int64) }
+
+// Float returns a KindFloat parameter's value.
+func (p Params) Float(name string) float64 { return p.value(name).(float64) }
+
+// Str returns a KindString or KindEnum parameter's value.
+func (p Params) Str(name string) string { return p.value(name).(string) }
+
+// Bool returns a KindBool parameter's value.
+func (p Params) Bool(name string) bool { return p.value(name).(bool) }
+
+// Strings returns a KindStringList parameter's value.
+func (p Params) Strings(name string) []string {
+	if v := p.value(name); v != nil {
+		return v.([]string)
+	}
+	return nil
+}
+
+// Schema declares an analysis's parameters, in presentation order.
+type Schema []Param
+
+// canonicalEscaper escapes the canonical form's separators ("&"
+// between assignments, "=" within one) and the escape character
+// itself inside values, so a string value containing them cannot
+// collide two distinct parameter bags into one cache/validator
+// identity. Values without separators — every current registration —
+// canonicalize unchanged.
+var canonicalEscaper = strings.NewReplacer("%", "%25", "&", "%26", "=", "%3D")
+
+// BadParamsError is a request-level parameter failure: an unknown key,
+// a value the kind cannot parse, a validation miss, or a combination an
+// analysis rejects at compute time (hac without k or cut, k beyond the
+// corpus). Serving layers map it to 400 Bad Request — it blames the
+// request, never the corpus or the implementation.
+type BadParamsError struct {
+	msg string
+}
+
+func (e *BadParamsError) Error() string { return "analysis: " + e.msg }
+
+// BadParams builds a BadParamsError; analyses use it to reject
+// parameter combinations their schema's per-key validation cannot see.
+func BadParams(format string, args ...any) error {
+	return &BadParamsError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Resolve parses and validates raw string inputs against the schema
+// and returns the canonicalized value bag: every declared parameter
+// resolved (supplied or default), every supplied key declared. An
+// empty raw value counts as absent, so ?k= falls back to the default
+// rather than failing to parse. All errors are BadParamsErrors.
+func (s Schema) Resolve(raw map[string]string) (Params, error) {
+	for key := range raw {
+		if !s.declares(key) {
+			return Params{}, BadParams("unknown parameter %q (declared: %s)",
+				key, strings.Join(s.names(), ", "))
+		}
+	}
+	values := make(map[string]any, len(s))
+	var assigned []string
+	for _, par := range s {
+		def := par.normalizedDefault()
+		v := def
+		if rawV, ok := raw[par.Name]; ok && rawV != "" {
+			parsed, err := par.parse(rawV)
+			if err != nil {
+				return Params{}, err
+			}
+			v = parsed
+		}
+		if par.Validate != nil {
+			if err := par.Validate(v); err != nil {
+				return Params{}, BadParams("parameter %q: %v", par.Name, err)
+			}
+		}
+		values[par.Name] = v
+		if !equalValues(v, def) {
+			assigned = append(assigned, par.Name+"="+canonicalEscaper.Replace(formatValue(v)))
+		}
+	}
+	sort.Strings(assigned)
+	return Params{values: values, canonical: strings.Join(assigned, "&")}, nil
+}
+
+// Defaults returns the all-default bag. It panics if a default fails
+// its own Validate hook — a schema whose defaults are invalid is a
+// programming error, caught the first time the analysis resolves.
+func (s Schema) Defaults() Params {
+	p, err := s.Resolve(nil)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: schema defaults invalid: %v", err))
+	}
+	return p
+}
+
+func (s Schema) declares(name string) bool {
+	for _, par := range s {
+		if par.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s Schema) names() []string {
+	names := make([]string, len(s))
+	for i, par := range s {
+		names[i] = par.Name
+	}
+	return names
+}
+
+// normalizedDefault widens the declared default to the stored
+// representation (int64 for ints), or the kind's zero when nil.
+func (p Param) normalizedDefault() any {
+	if p.Default == nil {
+		switch p.Kind {
+		case KindInt:
+			return int64(0)
+		case KindFloat:
+			return float64(0)
+		case KindString, KindEnum:
+			return ""
+		case KindBool:
+			return false
+		case KindStringList:
+			return []string(nil)
+		}
+	}
+	if v, ok := p.Default.(int); ok && p.Kind == KindInt {
+		return int64(v)
+	}
+	return p.Default
+}
+
+// parse converts one raw string to the kind's typed value.
+func (p Param) parse(raw string) (any, error) {
+	switch p.Kind {
+	case KindInt:
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return nil, BadParams("parameter %q: %q is not an integer", p.Name, raw)
+		}
+		return v, nil
+	case KindFloat:
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, BadParams("parameter %q: %q is not a number", p.Name, raw)
+		}
+		return v, nil
+	case KindBool:
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			return nil, BadParams("parameter %q: %q is not a boolean", p.Name, raw)
+		}
+		return v, nil
+	case KindString:
+		return raw, nil
+	case KindEnum:
+		for _, allowed := range p.Enum {
+			if strings.EqualFold(raw, allowed) {
+				return allowed, nil
+			}
+		}
+		return nil, BadParams("parameter %q: %q not one of %s",
+			p.Name, raw, strings.Join(p.Enum, ", "))
+	case KindStringList:
+		var list []string
+		for _, item := range strings.Split(raw, ",") {
+			if item = strings.TrimSpace(item); item != "" {
+				list = append(list, item)
+			}
+		}
+		return list, nil
+	default:
+		return nil, BadParams("parameter %q: unsupported kind %v", p.Name, p.Kind)
+	}
+}
+
+func equalValues(a, b any) bool {
+	la, aok := a.([]string)
+	lb, bok := b.([]string)
+	if aok || bok {
+		return aok && bok && slices.Equal(la, lb)
+	}
+	return a == b
+}
+
+// formatValue renders a typed value in its canonical string spelling.
+func formatValue(v any) string {
+	switch t := v.(type) {
+	case int64:
+		return strconv.FormatInt(t, 10)
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(t)
+	case string:
+		return t
+	case []string:
+		return strings.Join(t, ",")
+	default:
+		return fmt.Sprint(t)
+	}
+}
+
+// DefaultString renders a parameter's default in canonical spelling,
+// "" when the default is the kind's zero value — the form schema
+// listings and usage strings show.
+func (p Param) DefaultString() string {
+	def := p.normalizedDefault()
+	if equalValues(def, Param{Kind: p.Kind}.normalizedDefault()) {
+		return ""
+	}
+	return formatValue(def)
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func testSchema() Schema {
+	return Schema{
+		{Name: "k", Kind: KindInt, Default: 0, Validate: func(v any) error {
+			if v.(int64) < 0 {
+				return fmt.Errorf("negative")
+			}
+			return nil
+		}},
+		{Name: "alpha", Kind: KindFloat, Default: 0.1},
+		{Name: "algo", Kind: KindEnum, Enum: []string{"kmeans", "hac"}, Default: "kmeans"},
+		{Name: "label", Kind: KindString},
+		{Name: "strict", Kind: KindBool, Default: false},
+		{Name: "cols", Kind: KindStringList},
+	}
+}
+
+func mustResolve(t *testing.T, s Schema, raw map[string]string) Params {
+	t.Helper()
+	p, err := s.Resolve(raw)
+	if err != nil {
+		t.Fatalf("Resolve(%v): %v", raw, err)
+	}
+	return p
+}
+
+func TestSchemaResolveDefaults(t *testing.T) {
+	p := mustResolve(t, testSchema(), nil)
+	if p.IsZero() {
+		t.Fatal("resolved params report IsZero")
+	}
+	if p.Canonical() != "" {
+		t.Errorf("all-default canonical = %q, want empty", p.Canonical())
+	}
+	if p.Int("k") != 0 || p.Float("alpha") != 0.1 || p.Str("algo") != "kmeans" ||
+		p.Str("label") != "" || p.Bool("strict") || p.Strings("cols") != nil {
+		t.Errorf("defaults wrong: %+v", p)
+	}
+}
+
+func TestSchemaResolveValues(t *testing.T) {
+	p := mustResolve(t, testSchema(), map[string]string{
+		"k":      "5",
+		"alpha":  "0.25",
+		"algo":   "HAC", // enum matching is case-insensitive
+		"strict": "true",
+		"cols":   " a , b ,,c ",
+	})
+	if p.Int("k") != 5 || p.Int64("k") != 5 {
+		t.Errorf("k = %d", p.Int("k"))
+	}
+	if p.Float("alpha") != 0.25 {
+		t.Errorf("alpha = %v", p.Float("alpha"))
+	}
+	if p.Str("algo") != "hac" {
+		t.Errorf("algo = %q, want the canonical enum spelling", p.Str("algo"))
+	}
+	if !p.Bool("strict") {
+		t.Error("strict = false")
+	}
+	if got := p.Strings("cols"); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("cols = %v", got)
+	}
+}
+
+// TestSchemaCanonicalFoldsDefaults: canonical identity lists only the
+// non-default assignments, sorted, so a request that spells out a
+// default shares the identity (memo slot, ETag) of one that omits it.
+func TestSchemaCanonicalFoldsDefaults(t *testing.T) {
+	s := testSchema()
+	explicit := mustResolve(t, s, map[string]string{
+		"k": "0", "alpha": "0.1", "algo": "kmeans", "strict": "false",
+	})
+	if explicit.Canonical() != "" {
+		t.Errorf("spelled-out defaults canonicalize to %q, want empty", explicit.Canonical())
+	}
+	p := mustResolve(t, s, map[string]string{"strict": "1", "k": "3"})
+	if got, want := p.Canonical(), "k=3&strict=true"; got != want {
+		t.Errorf("canonical = %q, want %q (sorted, normalized spellings)", got, want)
+	}
+	// Empty raw values fall back to the default rather than failing.
+	p = mustResolve(t, s, map[string]string{"k": ""})
+	if p.Canonical() != "" || p.Int("k") != 0 {
+		t.Errorf("empty raw value: canonical %q, k %d", p.Canonical(), p.Int("k"))
+	}
+}
+
+func TestSchemaResolveErrors(t *testing.T) {
+	s := testSchema()
+	cases := []struct {
+		raw  map[string]string
+		want string
+	}{
+		{map[string]string{"nope": "1"}, "unknown parameter"},
+		{map[string]string{"k": "abc"}, "not an integer"},
+		{map[string]string{"alpha": "x"}, "not a number"},
+		{map[string]string{"strict": "maybe"}, "not a boolean"},
+		{map[string]string{"algo": "ward"}, "not one of"},
+		{map[string]string{"k": "-2"}, "negative"},
+	}
+	for _, c := range cases {
+		_, err := s.Resolve(c.raw)
+		if err == nil {
+			t.Errorf("Resolve(%v) succeeded, want error containing %q", c.raw, c.want)
+			continue
+		}
+		var bad *BadParamsError
+		if !errors.As(err, &bad) {
+			t.Errorf("Resolve(%v) error is %T, want *BadParamsError", c.raw, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Resolve(%v) error %q missing %q", c.raw, err, c.want)
+		}
+	}
+	// The unknown-key error lists what is declared.
+	_, err := s.Resolve(map[string]string{"nope": "1"})
+	if !strings.Contains(err.Error(), "k, alpha, algo") {
+		t.Errorf("unknown-key error %q does not list the schema", err)
+	}
+}
+
+// TestCanonicalEscapesSeparators: a string value containing the
+// canonical form's separators must not collide two distinct bags into
+// one identity (one memo slot, one ETag).
+func TestCanonicalEscapesSeparators(t *testing.T) {
+	s := Schema{
+		{Name: "x", Kind: KindString},
+		{Name: "y", Kind: KindString},
+	}
+	smuggled := mustResolve(t, s, map[string]string{"x": "1&y=2"})
+	honest := mustResolve(t, s, map[string]string{"x": "1", "y": "2"})
+	if smuggled.Canonical() == honest.Canonical() {
+		t.Fatalf("distinct bags share canonical %q", honest.Canonical())
+	}
+	if got, want := honest.Canonical(), "x=1&y=2"; got != want {
+		t.Errorf("plain values canonicalize to %q, want %q", got, want)
+	}
+}
+
+func TestParamsGetterPanicsOnUndeclared(t *testing.T) {
+	p := mustResolve(t, testSchema(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("reading an undeclared parameter should panic")
+		}
+	}()
+	p.Int("undeclared")
+}
+
+func TestRegisterParamsValidatesDefaults(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RegisterParams with invalid defaults should panic at init")
+		}
+	}()
+	RegisterParams("bad_defaults_probe", "x", Schema{
+		{Name: "k", Kind: KindInt, Default: 0, Validate: func(v any) error {
+			return fmt.Errorf("always invalid")
+		}},
+	}, func(*Dataset, Params) (any, error) { return nil, nil })
+}
+
+func TestDefaultString(t *testing.T) {
+	cases := []struct {
+		p    Param
+		want string
+	}{
+		{Param{Name: "k", Kind: KindInt, Default: 8}, "8"},
+		{Param{Name: "k", Kind: KindInt}, ""},
+		{Param{Name: "cut", Kind: KindFloat, Default: 2.5}, "2.5"},
+		{Param{Name: "algo", Kind: KindEnum, Default: "kmeans"}, "kmeans"},
+		{Param{Name: "cols", Kind: KindStringList}, ""},
+	}
+	for _, c := range cases {
+		if got := c.p.DefaultString(); got != c.want {
+			t.Errorf("DefaultString(%s) = %q, want %q", c.p.Name, got, c.want)
+		}
+	}
+}
+
+// TestRegisteredSchemasResolve: every schema in the live registry must
+// resolve its own defaults — the invariant RegisterParams enforces for
+// new registrations, re-checked here over whatever initialized.
+func TestRegisteredSchemasResolve(t *testing.T) {
+	for _, name := range Names() {
+		reg, _ := Lookup(name)
+		if _, err := reg.Params.Resolve(nil); err != nil {
+			t.Errorf("%s: defaults do not resolve: %v", name, err)
+		}
+	}
+}

@@ -6,10 +6,17 @@ import (
 	"sync"
 )
 
-// Func is a named analysis: a derived computation over a classified
-// Dataset. Results are plain structs (TrendFigure, Funnel, …) that the
-// caller renders as text, SVG, or JSON.
-type Func func(*Dataset) (any, error)
+// Func is a named parameterized analysis: a derived computation over a
+// classified Dataset, configured by a resolved Params bag (always fully
+// populated against the registration's Schema — every declared key
+// readable, defaults filled in). Results are plain structs
+// (TrendFigure, Funnel, …) that the caller renders as text, SVG, or
+// JSON.
+type Func func(*Dataset, Params) (any, error)
+
+// SimpleFunc is a zero-parameter analysis, the shape every registration
+// had before the registry grew typed parameters. Register adapts it.
+type SimpleFunc func(*Dataset) (any, error)
 
 // Registration describes one entry of the analysis registry.
 type Registration struct {
@@ -17,11 +24,26 @@ type Registration struct {
 	Description string
 	Func        Func
 
+	// Params declares the analysis's typed parameters (nil = none).
+	// Every serving surface resolves raw inputs against it, so the
+	// declaration is the only place a knob exists.
+	Params Schema
+
 	// Static marks an analysis that does not read the corpus; engines
 	// skip ingestion entirely when computing it and pass Func a nil
 	// Dataset.
 	Static bool
+
+	// defaults is the schema's all-default bag, resolved once at
+	// registration so by-name requests on hot serving paths don't
+	// re-resolve (and re-validate) the schema per call.
+	defaults Params
 }
+
+// DefaultParams returns the registration's resolved all-default
+// parameter bag. Params is read-only, so sharing one bag across every
+// caller is safe.
+func (r Registration) DefaultParams() Params { return r.defaults }
 
 var registry = struct {
 	sync.RWMutex
@@ -29,13 +51,33 @@ var registry = struct {
 	order  []string
 }{byName: map[string]Registration{}}
 
-// Register adds a named analysis to the global registry. Engines look
-// analyses up by name (core.Engine.Run("fig3", …)) and memoize their
-// results per engine. Register panics on a duplicate name: names are
-// package-level API and collisions are programming errors, caught at
-// init time.
-func Register(name, description string, fn Func) {
-	register(Registration{Name: name, Description: description, Func: fn})
+// Register adds a parameterless analysis to the global registry.
+// Engines look analyses up by name (core.Engine.Run("fig3", …)) and
+// memoize their results per engine. Register panics on a duplicate
+// name: names are package-level API and collisions are programming
+// errors, caught at init time.
+func Register(name, description string, fn SimpleFunc) {
+	if fn == nil {
+		panic("analysis: Register requires a func")
+	}
+	register(Registration{
+		Name:        name,
+		Description: description,
+		Func:        func(ds *Dataset, _ Params) (any, error) { return fn(ds) },
+	})
+}
+
+// RegisterParams adds an analysis with declared typed parameters. The
+// schema's defaults must be self-consistent: register resolves them,
+// so a registration whose defaults fail their own validation panics at
+// init time instead of erroring on the first request.
+func RegisterParams(name, description string, schema Schema, fn Func) {
+	register(Registration{
+		Name:        name,
+		Description: description,
+		Func:        fn,
+		Params:      schema,
+	})
 }
 
 // RegisterStatic adds a named analysis that does not depend on the
@@ -45,7 +87,7 @@ func RegisterStatic(name, description string, fn func() (any, error)) {
 	register(Registration{
 		Name:        name,
 		Description: description,
-		Func:        func(*Dataset) (any, error) { return fn() },
+		Func:        func(*Dataset, Params) (any, error) { return fn() },
 		Static:      true,
 	})
 }
@@ -54,6 +96,8 @@ func register(reg Registration) {
 	if reg.Name == "" || reg.Func == nil {
 		panic("analysis: Register requires a name and a func")
 	}
+	reg.defaults = reg.Params.Defaults() // panics on self-invalid defaults
+
 	registry.Lock()
 	defer registry.Unlock()
 	if _, dup := registry.byName[reg.Name]; dup {

@@ -47,7 +47,7 @@ func TestRegistryLookupRuns(t *testing.T) {
 	if !strings.Contains(reg.Description, "efficiency") {
 		t.Errorf("description = %q", reg.Description)
 	}
-	v, err := reg.Func(ds)
+	v, err := reg.Func(ds, reg.Params.Defaults())
 	if err != nil {
 		t.Fatal(err)
 	}

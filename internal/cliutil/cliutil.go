@@ -1,15 +1,21 @@
-// Package cliutil holds the corpus flag wiring shared by the command
-// line tools: specanalyze and specserve accept the same
-// -in/-seed/-workers/-cache/-filter flags, and both build their
+// Package cliutil holds the flag wiring shared by the command line
+// tools: specanalyze, specserve, and speccluster accept the same
+// -in/-seed/-workers/-cache/-filter corpus flags and build their
 // core.Source through the same helper, so the binaries cannot drift.
+// ParamFlags adds the repeatable -p name.key=value analysis-parameter
+// flag (registered by specanalyze; specserve takes the same parameters
+// as query keys and speccluster as dedicated flags, all resolved
+// against the same declared schemas).
 package cliutil
 
 import (
 	"flag"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/synth"
 )
@@ -93,6 +99,87 @@ func (c *CorpusFlags) Source() (core.Source, error) {
 		src = core.FilterSource{Inner: src, Keep: keep, Desc: c.Filter}
 	}
 	return src, nil
+}
+
+// ParamFlags collects repeatable -p name.key=value analysis-parameter
+// assignments, grouped by analysis name. The assignments resolve
+// against each analysis's declared schema (analysis.Registration
+// .Params), so the CLI rejects exactly what the HTTP server would 400.
+type ParamFlags map[string]map[string]string
+
+// String implements flag.Value.
+func (p ParamFlags) String() string {
+	var parts []string
+	for name, raw := range p {
+		for key, val := range raw {
+			parts = append(parts, name+"."+key+"="+val)
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// Set implements flag.Value for one "name.key=value" assignment.
+func (p ParamFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, ".")
+	if !ok || name == "" {
+		return fmt.Errorf("-p %q: want name.key=value (e.g. clusters.k=5)", v)
+	}
+	key, val, ok := strings.Cut(rest, "=")
+	if !ok || key == "" {
+		return fmt.Errorf("-p %q: want name.key=value (e.g. clusters.k=5)", v)
+	}
+	if p[name] == nil {
+		p[name] = map[string]string{}
+	}
+	p[name][key] = val
+	return nil
+}
+
+// RegisterParamFlags installs the repeatable -p flag on fs and returns
+// the map it populates.
+func RegisterParamFlags(fs *flag.FlagSet) ParamFlags {
+	p := ParamFlags{}
+	fs.Var(p, "p", "analysis parameter, name.key=value (repeatable), e.g. -p clusters.k=5")
+	return p
+}
+
+// Requests builds engine requests for the named analyses (empty =
+// every registered one, in registration order), resolving the
+// collected -p assignments against each analysis's declared schema.
+// Assignments naming an analysis outside the selection error rather
+// than being silently dropped; unknown analysis names without
+// assignments pass through so the engine reports them with its usual
+// listing.
+func (p ParamFlags) Requests(names []string) ([]core.Request, error) {
+	if len(names) == 0 {
+		names = analysis.Names()
+	}
+	selected := map[string]bool{}
+	reqs := make([]core.Request, len(names))
+	for i, name := range names {
+		selected[name] = true
+		reqs[i] = core.Request{Name: name}
+		raw := p[name]
+		if len(raw) == 0 {
+			continue
+		}
+		reg, ok := analysis.Lookup(name)
+		if !ok {
+			return nil, &core.UnknownAnalysisError{Name: name, Available: analysis.SortedNames()}
+		}
+		params, err := reg.Params.Resolve(raw)
+		if err != nil {
+			return nil, fmt.Errorf("-p %s.*: %w", name, err)
+		}
+		reqs[i].Params = params
+	}
+	for name := range p {
+		if !selected[name] {
+			return nil, fmt.Errorf("-p %s.*: analysis %q is not among the analyses being run", name, name)
+		}
+	}
+	return reqs, nil
 }
 
 // sourceFor builds the source for one -in value: a corpus directory

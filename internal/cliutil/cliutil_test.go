@@ -93,3 +93,96 @@ func TestWorkersFlag(t *testing.T) {
 		t.Errorf("Workers = %d", c.Workers)
 	}
 }
+
+func parseParams(t *testing.T, args ...string) (ParamFlags, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(&strings.Builder{}) // silence usage on expected errors
+	p := RegisterParamFlags(fs)
+	return p, fs.Parse(args)
+}
+
+func TestParamFlagsCollect(t *testing.T) {
+	p, err := parseParams(t,
+		"-p", "clusters.k=5",
+		"-p", "clusters.linkage=average",
+		"-p", "cluster-sweep.kmax=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p["clusters"]["k"] != "5" || p["clusters"]["linkage"] != "average" ||
+		p["cluster-sweep"]["kmax"] != "6" {
+		t.Fatalf("collected %v", p)
+	}
+	// Malformed assignments fail at flag-parse time.
+	for _, bad := range []string{"clusters", "clusters.k", ".k=5", "clusters.=5"} {
+		if _, err := parseParams(t, "-p", bad); err == nil {
+			t.Errorf("-p %q should fail", bad)
+		}
+	}
+}
+
+func TestParamFlagsRequests(t *testing.T) {
+	p, err := parseParams(t, "-p", "clusters.k=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := p.Requests([]string{"funnel", "clusters"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 || reqs[0].Name != "funnel" || reqs[1].Name != "clusters" {
+		t.Fatalf("reqs = %+v", reqs)
+	}
+	if !reqs[0].Params.IsZero() {
+		t.Error("funnel request carries params")
+	}
+	if got := reqs[1].Params.Canonical(); got != "k=4" {
+		t.Errorf("clusters canonical = %q, want k=4", got)
+	}
+	// Empty selection = every registered analysis; the assignment still
+	// lands on its analysis.
+	reqs, err = p.Requests(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, req := range reqs {
+		if req.Name == "clusters" && req.Params.Canonical() == "k=4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("all-analyses selection dropped the clusters assignment")
+	}
+}
+
+func TestParamFlagsRequestsErrors(t *testing.T) {
+	// A value the schema rejects is a CLI error, mirroring the HTTP 400.
+	p, err := parseParams(t, "-p", "clusters.k=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Requests([]string{"clusters"}); err == nil ||
+		!strings.Contains(err.Error(), "integer") {
+		t.Errorf("bad value error = %v", err)
+	}
+	// Unknown keys are rejected against the schema.
+	p, _ = parseParams(t, "-p", "clusters.bogus=1")
+	if _, err := p.Requests([]string{"clusters"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown parameter") {
+		t.Errorf("unknown key error = %v", err)
+	}
+	// Assignments for an unselected analysis error instead of being
+	// silently dropped.
+	p, _ = parseParams(t, "-p", "clusters.k=4")
+	if _, err := p.Requests([]string{"funnel"}); err == nil ||
+		!strings.Contains(err.Error(), "not among") {
+		t.Errorf("unselected analysis error = %v", err)
+	}
+	// Params for a name that is not registered at all.
+	p, _ = parseParams(t, "-p", "nope.k=4")
+	if _, err := p.Requests([]string{"nope"}); err == nil {
+		t.Error("unregistered analysis with params should fail")
+	}
+}

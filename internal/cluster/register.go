@@ -1,15 +1,19 @@
 package cluster
 
 import (
+	"fmt"
+	"math"
+	"strings"
 	"sync"
 
 	"repro/internal/analysis"
 )
 
-// Pinned parameters of the registered analyses, so a registry name
-// always means the same computation (matching the registry convention
-// for the paper's analyses). The seed mirrors the default synthetic
-// corpus seed.
+// Defaults of the registered analyses' parameter schemas. A request
+// that supplies none of the knobs computes exactly what the pinned
+// registrations of old did (seed 14, auto-k over 2…8), so the default
+// output is stable across the parameterization of the API. The seed
+// mirrors the default synthetic corpus seed.
 const (
 	DefaultSeed = 14
 	autoKMin    = 2
@@ -63,130 +67,329 @@ func newResult(algo string, m *Matrix, labels []int, k int, silhouette float64) 
 	return res
 }
 
-// pinned is the shared outcome of the registered analyses: the feature
-// matrix plus the auto-k partition and its silhouette. res == nil
-// means the corpus slice had fewer than two comparable runs — nothing
-// to cluster, but not an error.
-type pinned struct {
-	m   *Matrix
-	res *KMeansResult
-	sil float64
-}
+// Validation hooks shared by the schema declarations.
 
-// pinnedCache memoizes pinnedKMeans per dataset so "clusters" and
-// "cluster-profiles" — fanned out concurrently by Engine.Run — share
-// one sweep instead of each paying for it. The ring is tiny and
-// bounded: an evicted entry just recomputes, and because the whole
-// pipeline is deterministic, concurrent misses that race to fill a
-// slot produce identical values.
-var pinnedCache struct {
-	sync.Mutex
-	entries [4]struct {
-		ds *analysis.Dataset
-		p  *pinned
+func intAtLeast(low int64) func(any) error {
+	return func(v any) error {
+		if n := v.(int64); n < low {
+			return fmt.Errorf("%d below minimum %d", n, low)
+		}
+		return nil
 	}
-	next int
 }
 
-// pinnedKMeans extracts the full feature set from the comparable runs
-// and clusters them with auto-k k-means++ under the pinned seed,
-// memoized per dataset.
-func pinnedKMeans(ds *analysis.Dataset) (*pinned, error) {
-	pinnedCache.Lock()
-	for _, e := range pinnedCache.entries {
-		if e.ds == ds {
-			pinnedCache.Unlock()
-			return e.p, nil
+func floatAtLeast(low float64) func(any) error {
+	return func(v any) error {
+		f := v.(float64)
+		// ParseFloat admits "NaN" and "Inf"; both slip past every
+		// downstream range check (NaN compares false with everything),
+		// so reject non-finite values here, at the 400 boundary.
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("%g is not a finite number", f)
+		}
+		if f < low {
+			return fmt.Errorf("%g below minimum %g", f, low)
+		}
+		return nil
+	}
+}
+
+// featuresParam declares the feature-subset knob, validated against
+// FeatureNames at resolve time so a typo is a 400, not a computation
+// failure deep in Extract.
+func featuresParam() analysis.Param {
+	return analysis.Param{
+		Name: "features", Kind: analysis.KindStringList,
+		Description: "feature subset (default all: " + strings.Join(FeatureNames(), ",") + ")",
+		Validate: func(v any) error {
+			_, err := selectFeatures(v.([]string))
+			return err
+		},
+	}
+}
+
+func seedParam() analysis.Param {
+	return analysis.Param{
+		Name: "seed", Kind: analysis.KindInt, Default: DefaultSeed,
+		Description: "k-means++ RNG seed",
+	}
+}
+
+func sweepRangeParams(kmaxDefault int) []analysis.Param {
+	return []analysis.Param{
+		{Name: "kmin", Kind: analysis.KindInt, Default: autoKMin,
+			Description: "sweep lower bound", Validate: intAtLeast(2)},
+		{Name: "kmax", Kind: analysis.KindInt, Default: kmaxDefault,
+			Description: "sweep upper bound (clamped to the corpus size)",
+			Validate:    intAtLeast(2)},
+	}
+}
+
+// partitionSchema declares the knobs of the "clusters" and
+// "cluster-profiles" analyses — both describe the same partition, so
+// they share one schema (and, through the partition cache, one
+// computation per parameterization). The canonical identity is
+// schema-wide: a knob the selected algorithm happens to ignore
+// (linkage under kmeans, say) still keys a distinct scenario. Equal
+// canonical strings always mean equal computations; the converse is
+// deliberately not promised — collapsing it would couple the identity
+// to per-algorithm data flow.
+func partitionSchema() analysis.Schema {
+	s := analysis.Schema{
+		{Name: "k", Kind: analysis.KindInt, Default: 0,
+			Description: "cluster count (0 = auto-select by silhouette over kmin…kmax)",
+			Validate:    intAtLeast(0)},
+		{Name: "algo", Kind: analysis.KindEnum, Enum: []string{"kmeans", "hac"},
+			Default: "kmeans", Description: "clustering algorithm"},
+		{Name: "linkage", Kind: analysis.KindEnum,
+			Enum:    []string{"average", "single", "complete"},
+			Default: "average", Description: "hac cluster-distance criterion"},
+		{Name: "cut", Kind: analysis.KindFloat, Default: 0.0,
+			Description: "hac dendrogram distance threshold (overrides k)",
+			Validate:    floatAtLeast(0)},
+		seedParam(),
+		featuresParam(),
+	}
+	return append(s, sweepRangeParams(autoKMax)...)
+}
+
+func sweepSchema() analysis.Schema {
+	s := analysis.Schema{seedParam(), featuresParam()}
+	return append(s, sweepRangeParams(sweepKMax)...)
+}
+
+// partition is the shared outcome of one parameterized clustering: the
+// feature matrix plus the labeled partition and its silhouette. k == 0
+// means the corpus slice had fewer than two comparable runs (or the
+// auto-k sweep had no room after clamping) — nothing to cluster, but
+// not an error.
+type partition struct {
+	m      *Matrix
+	algo   string // reported label: "kmeans++" or "hac/<linkage>"
+	k      int
+	labels []int
+	sil    float64
+}
+
+// memoRing is the tiny bounded (dataset, key) → value memo behind the
+// clustering analyses. The ring is small and bounded: an evicted entry
+// just recomputes, and because the whole pipeline is deterministic,
+// concurrent misses that race to fill a slot store identical values.
+type memoRing[T any] struct {
+	mu      sync.Mutex
+	entries [8]memoEntry[T]
+	next    int
+}
+
+type memoEntry[T any] struct {
+	ds  *analysis.Dataset
+	key string
+	val T
+}
+
+func (r *memoRing[T]) get(ds *analysis.Dataset, key string) (T, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if e.ds == ds && e.key == key {
+			return e.val, true
 		}
 	}
-	pinnedCache.Unlock()
-	p, err := computePinned(ds)
+	var zero T
+	return zero, false
+}
+
+func (r *memoRing[T]) put(ds *analysis.Dataset, key string, val T) {
+	r.mu.Lock()
+	r.entries[r.next] = memoEntry[T]{ds: ds, key: key, val: val}
+	r.next = (r.next + 1) % len(r.entries)
+	r.mu.Unlock()
+}
+
+// partitionCache memoizes partitionFor per (dataset, canonical params)
+// so "clusters" and "cluster-profiles" — fanned out concurrently by
+// Engine.Run — share one computation per scenario instead of each
+// paying for it. sweepCache memoizes sweepFor per (dataset, features,
+// range, seed): the auto-k branch of the partition and the
+// "cluster-sweep" analysis both need the same SweepK — the dominant
+// cost of a default clustering — so sharing it keeps "run clusters and
+// its sweep" at one sweep instead of two.
+var (
+	partitionCache memoRing[*partition]
+	sweepCache     memoRing[[]SweepPoint]
+)
+
+// partitionFor computes (or recalls) the partition the params describe
+// over the dataset's comparable runs.
+func partitionFor(ds *analysis.Dataset, params analysis.Params) (*partition, error) {
+	key := params.Canonical()
+	if p, ok := partitionCache.get(ds, key); ok {
+		return p, nil
+	}
+	p, err := computePartition(ds, params)
 	if err != nil {
 		return nil, err
 	}
-	pinnedCache.Lock()
-	pinnedCache.entries[pinnedCache.next] = struct {
-		ds *analysis.Dataset
-		p  *pinned
-	}{ds, p}
-	pinnedCache.next = (pinnedCache.next + 1) % len(pinnedCache.entries)
-	pinnedCache.Unlock()
+	partitionCache.put(ds, key, p)
 	return p, nil
 }
 
-func computePinned(ds *analysis.Dataset) (*pinned, error) {
-	m, err := Extract(ds.Comparable, Options{})
+// sweepFor computes (or recalls) the k sweep of m over [kmin, kmax]
+// under seed. Equal feature selections over one dataset produce equal
+// matrices (extraction is deterministic), so the cache keys by the
+// sweep-relevant inputs alone, letting the partition path and the
+// sweep analysis share entries across their different schemas.
+func sweepFor(ds *analysis.Dataset, m *Matrix, kmin, kmax int, seed int64, workers int) ([]SweepPoint, error) {
+	key := fmt.Sprintf("%s|%d|%d|%d", strings.Join(m.Features, ","), kmin, kmax, seed)
+	if pts, ok := sweepCache.get(ds, key); ok {
+		return pts, nil
+	}
+	pts, err := SweepK(m, kmin, kmax, seed, workers)
 	if err != nil {
 		return nil, err
 	}
-	kmax := min(autoKMax, len(m.Rows))
-	if kmax < autoKMin {
-		return &pinned{m: m}, nil
-	}
-	sweep, err := SweepK(m, autoKMin, kmax, DefaultSeed, ds.Workers)
-	if err != nil {
-		return nil, err
-	}
-	k := AutoK(sweep)
-	res, err := KMeans(m, KMeansOptions{K: k, Seed: DefaultSeed, Workers: ds.Workers})
-	if err != nil {
-		return nil, err
-	}
-	// The sweep already scored this k; the same seed reproduces the
-	// same labels, so the silhouette carries over exactly.
-	sil := 0.0
-	for _, p := range sweep {
-		if p.K == k {
-			sil = p.Silhouette
-		}
-	}
-	return &pinned{m: m, res: res, sil: sil}, nil
+	sweepCache.put(ds, key, pts)
+	return pts, nil
 }
 
 const algoKMeans = "kmeans++"
 
-func init() {
-	analysis.Register("clusters",
-		"machine-configuration clusters (k-means++, auto-k by silhouette)",
-		func(ds *analysis.Dataset) (any, error) {
-			p, err := pinnedKMeans(ds)
+func computePartition(ds *analysis.Dataset, p analysis.Params) (*partition, error) {
+	m, err := Extract(ds.Comparable, Options{Features: p.Strings("features")})
+	if err != nil {
+		return nil, err
+	}
+	algo := p.Str("algo")
+	label := algoKMeans
+	if algo == "hac" {
+		label = "hac/" + p.Str("linkage")
+	}
+	part := &partition{m: m, algo: label}
+	n := len(m.Rows)
+	if n < 2 {
+		return part, nil // nothing to cluster; degrade, don't error
+	}
+	k := p.Int("k")
+	if k > n {
+		return nil, analysis.BadParams("k = %d exceeds the %d clusterable runs", k, n)
+	}
+	workers := ds.Workers
+	switch algo {
+	case "kmeans":
+		seed := p.Int64("seed")
+		if k == 0 {
+			kmin, kmax, err := sweepRange(p, n)
 			if err != nil {
 				return nil, err
 			}
-			if p.res == nil {
-				return Result{Algo: algoKMeans, Features: p.m.Features,
+			if kmax < kmin {
+				return part, nil // corpus smaller than the sweep floor
+			}
+			sweep, err := sweepFor(ds, m, kmin, kmax, seed, workers)
+			if err != nil {
+				return nil, err
+			}
+			k = AutoK(sweep)
+			res, err := KMeans(m, KMeansOptions{K: k, Seed: seed, Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			part.k, part.labels = res.K, res.Labels
+			// The sweep already scored this k; the same seed reproduces
+			// the same labels, so the silhouette carries over exactly.
+			for _, pt := range sweep {
+				if pt.K == k {
+					part.sil = pt.Silhouette
+				}
+			}
+			return part, nil
+		}
+		res, err := KMeans(m, KMeansOptions{K: k, Seed: seed, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		part.k, part.labels = res.K, res.Labels
+		part.sil = Silhouette(m, res.Labels, res.K, workers)
+		return part, nil
+	case "hac":
+		cut := p.Float("cut")
+		if k == 0 && cut == 0 {
+			return nil, analysis.BadParams("algo=hac needs k or cut")
+		}
+		lk, err := ParseLinkage(p.Str("linkage"))
+		if err != nil {
+			return nil, err // unreachable: the enum admits only valid spellings
+		}
+		res, err := HAC(m, HACOptions{Linkage: lk, K: k, Cut: cut, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		part.k, part.labels = res.K, res.Labels
+		part.sil = Silhouette(m, res.Labels, res.K, workers)
+		return part, nil
+	default:
+		return nil, analysis.BadParams("unknown algo %q", algo)
+	}
+}
+
+// sweepRange reads kmin/kmax, rejects an inverted request, and clamps
+// kmax to the corpus size (a small scope must degrade, not error).
+func sweepRange(p analysis.Params, rows int) (kmin, kmax int, err error) {
+	kmin, kmax = p.Int("kmin"), p.Int("kmax")
+	if kmax < kmin {
+		return 0, 0, analysis.BadParams("kmax = %d below kmin = %d", kmax, kmin)
+	}
+	return kmin, min(kmax, rows), nil
+}
+
+func init() {
+	analysis.RegisterParams("clusters",
+		"machine-configuration clusters (k-means++, auto-k by silhouette)",
+		partitionSchema(),
+		func(ds *analysis.Dataset, p analysis.Params) (any, error) {
+			part, err := partitionFor(ds, p)
+			if err != nil {
+				return nil, err
+			}
+			if part.k == 0 {
+				return Result{Algo: part.algo, Features: part.m.Features,
 					Sizes: []int{}, Assignments: []Assignment{}}, nil
 			}
-			return newResult(algoKMeans, p.m, p.res.Labels, p.res.K, p.sil), nil
+			return newResult(part.algo, part.m, part.labels, part.k, part.sil), nil
 		})
-	analysis.Register("cluster-profiles",
+	analysis.RegisterParams("cluster-profiles",
 		"per-cluster phenotypes: dominant vendor, median cores/score, year range",
-		func(ds *analysis.Dataset) (any, error) {
-			p, err := pinnedKMeans(ds)
+		partitionSchema(),
+		func(ds *analysis.Dataset, p analysis.Params) (any, error) {
+			part, err := partitionFor(ds, p)
 			if err != nil {
 				return nil, err
 			}
-			if p.res == nil {
-				return ProfileSet{Algo: algoKMeans, Profiles: []Profile{}}, nil
+			if part.k == 0 {
+				return ProfileSet{Algo: part.algo, Profiles: []Profile{}}, nil
 			}
 			return ProfileSet{
-				Algo:       algoKMeans,
-				K:          p.res.K,
-				Silhouette: p.sil,
-				Profiles:   Profiles(p.m.Runs, p.res.Labels, p.res.K),
+				Algo:       part.algo,
+				K:          part.k,
+				Silhouette: part.sil,
+				Profiles:   Profiles(part.m.Runs, part.labels, part.k),
 			}, nil
 		})
-	analysis.Register("cluster-sweep",
+	analysis.RegisterParams("cluster-sweep",
 		"k sweep: within-cluster SSE and silhouette for k = 2…10 (elbow curve)",
-		func(ds *analysis.Dataset) (any, error) {
-			m, err := Extract(ds.Comparable, Options{})
+		sweepSchema(),
+		func(ds *analysis.Dataset, p analysis.Params) (any, error) {
+			m, err := Extract(ds.Comparable, Options{Features: p.Strings("features")})
 			if err != nil {
 				return nil, err
 			}
-			kmax := min(sweepKMax, len(m.Rows))
-			if kmax < autoKMin {
+			kmin, kmax, err := sweepRange(p, len(m.Rows))
+			if err != nil {
+				return nil, err
+			}
+			if kmax < kmin {
 				return []SweepPoint{}, nil
 			}
-			return SweepK(m, autoKMin, kmax, DefaultSeed, ds.Workers)
+			return sweepFor(ds, m, kmin, kmax, p.Int64("seed"), ds.Workers)
 		})
 }

@@ -2,6 +2,8 @@ package cluster_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"testing"
 
 	"repro/internal/analysis"
@@ -32,9 +34,22 @@ func lookup(t *testing.T, name string) analysis.Registration {
 	return reg
 }
 
+// runOn computes a registered analysis over ds with raw parameter
+// assignments (nil = defaults), resolving them against the declared
+// schema the way every serving surface does.
+func runOn(t *testing.T, ds *analysis.Dataset, name string, raw map[string]string) (any, error) {
+	t.Helper()
+	reg := lookup(t, name)
+	params, err := reg.Params.Resolve(raw)
+	if err != nil {
+		t.Fatalf("%s: resolve %v: %v", name, raw, err)
+	}
+	return reg.Func(ds, params)
+}
+
 func TestClustersAnalysisOnSynthCorpus(t *testing.T) {
 	ds := synthDataset(t)
-	v, err := lookup(t, "clusters").Func(ds)
+	v, err := runOn(t, ds, "clusters", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +103,7 @@ func TestHACOnSynthCorpus(t *testing.T) {
 
 func TestClusterProfilesAndSweepOnSynthCorpus(t *testing.T) {
 	ds := synthDataset(t)
-	v, err := lookup(t, "cluster-profiles").Func(ds)
+	v, err := runOn(t, ds, "cluster-profiles", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +116,7 @@ func TestClusterProfilesAndSweepOnSynthCorpus(t *testing.T) {
 			t.Errorf("degenerate profile: %+v", p)
 		}
 	}
-	v, err = lookup(t, "cluster-sweep").Func(ds)
+	v, err = runOn(t, ds, "cluster-sweep", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,11 +139,11 @@ func TestClusterProfilesAndSweepOnSynthCorpus(t *testing.T) {
 func TestClustersTinyCorpus(t *testing.T) {
 	ds := analysis.BuildDataset(nil)
 	for _, name := range []string{"clusters", "cluster-profiles", "cluster-sweep"} {
-		if _, err := lookup(t, name).Func(ds); err != nil {
+		if _, err := runOn(t, ds, name, nil); err != nil {
 			t.Errorf("%s on empty corpus: %v", name, err)
 		}
 	}
-	v, err := lookup(t, "clusters").Func(ds)
+	v, err := runOn(t, ds, "clusters", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,13 +156,30 @@ func TestClustersTinyCorpus(t *testing.T) {
 // the same seed and corpus must produce byte-identical "clusters" JSON
 // across repeated runs on fresh engines — under -race in CI, this also
 // guards against map-iteration order and global-rand leaks in the
-// parallel paths.
+// parallel paths. Half the runs spell the old pinned parameters out
+// explicitly (?seed=14&kmin=2&kmax=8): the back-compat pin of the
+// parameterized API is that an explicit-defaults request and a
+// parameterless one are the same bytes, params echo included.
 func TestClustersJSONDeterministic(t *testing.T) {
+	reg, ok := analysis.Lookup("clusters")
+	if !ok {
+		t.Fatal("clusters not registered")
+	}
+	explicit, err := reg.Params.Resolve(map[string]string{
+		"seed": "14", "kmin": "2", "kmax": "8", "algo": "kmeans",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var want []byte
 	for i := 0; i < 10; i++ {
 		eng := core.New(core.WithSeed(synth.DefaultSeed), core.WithWorkers(4))
 		var buf bytes.Buffer
-		if err := eng.WriteJSON(&buf, "clusters"); err != nil {
+		req := core.Request{Name: "clusters"}
+		if i%2 == 1 {
+			req.Params = explicit // odd runs pin the explicit spelling
+		}
+		if err := eng.WriteJSONRequests(&buf, req); err != nil {
 			t.Fatal(err)
 		}
 		if i == 0 {
@@ -158,7 +190,102 @@ func TestClustersJSONDeterministic(t *testing.T) {
 			continue
 		}
 		if !bytes.Equal(buf.Bytes(), want) {
-			t.Fatalf("run %d: clusters JSON differs from run 0", i)
+			t.Fatalf("run %d (explicit=%v): clusters JSON differs from run 0",
+				i, i%2 == 1)
 		}
+	}
+}
+
+// TestClustersParamScenarios drives the registered analyses through
+// non-default parameterizations: explicit k, hac by k and by cut,
+// feature subsets, and a sweep range — every knob the schema declares.
+func TestClustersParamScenarios(t *testing.T) {
+	ds := synthDataset(t)
+
+	v, err := runOn(t, ds, "clusters", map[string]string{"k": "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := v.(cluster.Result); res.K != 3 || res.Algo != "kmeans++" {
+		t.Errorf("k=3: got k=%d algo=%s", res.K, res.Algo)
+	}
+
+	v, err = runOn(t, ds, "clusters", map[string]string{"algo": "hac", "k": "4", "linkage": "complete"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := v.(cluster.Result); res.K != 4 || res.Algo != "hac/complete" {
+		t.Errorf("hac k=4: got k=%d algo=%s", res.K, res.Algo)
+	}
+
+	v, err = runOn(t, ds, "clusters", map[string]string{"algo": "hac", "cut": "3.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := v.(cluster.Result); res.K < 1 || res.Algo != "hac/average" {
+		t.Errorf("hac cut: got k=%d algo=%s", res.K, res.Algo)
+	}
+
+	v, err = runOn(t, ds, "clusters", map[string]string{"k": "2", "features": "score,cores"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := v.(cluster.Result); len(res.Features) != 2 || res.Features[0] != "score" {
+		t.Errorf("feature subset: %v", res.Features)
+	}
+
+	v, err = runOn(t, ds, "cluster-profiles", map[string]string{"k": "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps := v.(cluster.ProfileSet); ps.K != 3 || len(ps.Profiles) != 3 {
+		t.Errorf("profiles k=3: k=%d, %d profiles", ps.K, len(ps.Profiles))
+	}
+
+	v, err = runOn(t, ds, "cluster-sweep", map[string]string{"kmin": "3", "kmax": "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep := v.([]cluster.SweepPoint); len(sweep) != 3 || sweep[0].K != 3 || sweep[2].K != 5 {
+		t.Errorf("sweep 3…5: %+v", v)
+	}
+
+	// Seeds are real inputs: different seeds may legitimately differ,
+	// equal seeds must agree exactly.
+	a, err := runOn(t, ds, "clusters", map[string]string{"k": "4", "seed": "99"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runOn(t, ds, "clusters", map[string]string{"k": "4", "seed": "99"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Error("equal seeds produced different partitions")
+	}
+}
+
+// TestClustersBadParamCombos: failures the per-key validation cannot
+// see surface as BadParamsErrors (the server's 400), never panics.
+func TestClustersBadParamCombos(t *testing.T) {
+	ds := synthDataset(t)
+	cases := []map[string]string{
+		{"algo": "hac"},            // no stopping rule
+		{"k": "100000"},            // beyond the corpus
+		{"kmin": "6", "kmax": "3"}, // inverted sweep range
+	}
+	for _, raw := range cases {
+		_, err := runOn(t, ds, "clusters", raw)
+		var bad *analysis.BadParamsError
+		if !errors.As(err, &bad) {
+			t.Errorf("%v: err = %v, want *analysis.BadParamsError", raw, err)
+		}
+	}
+	_, err := runOn(t, ds, "cluster-sweep", map[string]string{"kmin": "6", "kmax": "3"})
+	var bad *analysis.BadParamsError
+	if !errors.As(err, &bad) {
+		t.Errorf("sweep inverted range: err = %v, want *analysis.BadParamsError", err)
 	}
 }

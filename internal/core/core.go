@@ -3,7 +3,7 @@
 // and the longitudinal analyses together behind one streaming Engine:
 // a pluggable corpus Source feeds the classification funnel
 // incrementally, and every named analysis from the registry is computed
-// lazily, at most once per engine.
+// lazily, at most once per engine and parameterization.
 //
 // Typical use:
 //
@@ -26,73 +26,21 @@
 // scenarios (per-vendor slices, merged directories, …). Run, WriteJSON,
 // and WriteReport fan independent analyses out across the same worker
 // bound, so a full report costs max(analysis) rather than
-// sum(analysis). The eager Study type and its constructors remain as
-// deprecated shims over the Engine.
+// sum(analysis).
+//
+// Analyses that declare typed parameters (analysis.Schema) are selected
+// with per-request values through core.Request, each distinct
+// parameterization memoized independently:
+//
+//	reg, _ := analysis.Lookup("clusters")
+//	params, _ := reg.Params.Resolve(map[string]string{"k": "5"})
+//	results, _ := eng.RunRequests(core.Request{Name: "clusters", Params: params})
 package core
 
 import (
-	"repro/internal/analysis"
 	"repro/internal/model"
 	"repro/internal/synth"
 )
-
-// Study wraps a classified dataset and memoizes derived analyses.
-//
-// Deprecated: build an Engine instead (core.New with a Source); Study
-// remains as a thin shim over it.
-type Study struct {
-	// Dataset holds the corpus split into pipeline stages.
-	Dataset *analysis.Dataset
-
-	eng *Engine
-}
-
-// engine returns the Engine behind the shim. Old code paths only ever
-// construct studies through it, but a hand-built Study{Dataset: ds} —
-// or even a zero Study, which gets an empty corpus — still works.
-func (s *Study) engine() *Engine {
-	if s.eng == nil {
-		var runs []*model.Run
-		if s.Dataset != nil {
-			runs = s.Dataset.Raw
-		}
-		s.eng = New(WithSource(SliceSource(runs)))
-	}
-	return s.eng
-}
-
-// studyOf wraps an engine as the deprecated façade.
-func studyOf(eng *Engine) (*Study, error) {
-	ds, err := eng.Dataset()
-	if err != nil {
-		return nil, err
-	}
-	return &Study{Dataset: ds, eng: eng}, nil
-}
-
-// NewStudy classifies runs and builds a study.
-//
-// Deprecated: use core.New(core.WithSource(core.SliceSource(runs))).
-func NewStudy(runs []*model.Run) *Study {
-	s, _ := studyOf(New(WithSource(SliceSource(runs)))) // slice sources cannot fail
-	return s
-}
-
-// LoadStudy parses a corpus directory and classifies it.
-//
-// Deprecated: use core.New(core.WithSource(core.DirSource{Dir: dir}),
-// core.WithWorkers(workers)).
-func LoadStudy(dir string, workers int) (*Study, error) {
-	return studyOf(New(WithSource(DirSource{Dir: dir}), WithWorkers(workers)))
-}
-
-// DefaultStudy generates the default corpus and builds its study.
-//
-// Deprecated: use core.New(); the zero-option engine studies the same
-// corpus lazily.
-func DefaultStudy() (*Study, error) {
-	return studyOf(New())
-}
 
 // GenerateCorpus produces the paper-calibrated synthetic corpus.
 func GenerateCorpus(opt synth.Options) ([]*model.Run, error) {

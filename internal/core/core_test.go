@@ -165,12 +165,9 @@ func TestForEachParallelDeterministicError(t *testing.T) {
 }
 
 func TestWriteReport(t *testing.T) {
-	study, err := DefaultStudy()
-	if err != nil {
-		t.Fatal(err)
-	}
+	eng := New()
 	var buf bytes.Buffer
-	if err := study.WriteReport(&buf); err != nil {
+	if err := eng.WriteReport(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -186,12 +183,15 @@ func TestWriteReport(t *testing.T) {
 	}
 }
 
-func TestDefaultStudy(t *testing.T) {
-	study, err := DefaultStudy()
+// TestDefaultEngineFunnel pins the zero-option engine to the paper's
+// funnel (the contract DefaultStudy used to carry before the deprecated
+// Study shims were removed).
+func TestDefaultEngineFunnel(t *testing.T) {
+	ds, err := New().Dataset()
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := study.Dataset.Funnel
+	f := ds.Funnel
 	if f.Raw != 1017 || f.Parsed != 960 || f.Comparable != 676 {
 		t.Fatalf("funnel %v", f)
 	}

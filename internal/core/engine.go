@@ -18,7 +18,7 @@ import (
 // derived analyses. Construction is cheap — nothing is generated,
 // parsed, or classified until the first Dataset, Analysis, Run, or
 // WriteReport call, and every analysis is computed at most once per
-// engine.
+// engine and parameterization.
 //
 //	eng := core.New(core.WithSource(core.DirSource{Dir: "corpus"}),
 //		core.WithWorkers(8))
@@ -32,9 +32,30 @@ type Engine struct {
 	ds     *analysis.Dataset
 	dsErr  error
 
-	mu    sync.Mutex
-	memos map[string]*memo
+	mu         sync.Mutex
+	memos      map[memoKey]*memo
+	paramOrder []memoKey // non-default keys in insertion order, for eviction
 }
+
+// memoKey identifies one cached computation: the analysis name plus the
+// canonical string of its resolved parameters ("" = all defaults).
+// Keying by the canonical form — not the raw request — means ?seed=14
+// spelled out and omitted share one entry, while every distinct
+// parameterization gets its own.
+type memoKey struct {
+	name   string
+	params string
+}
+
+// paramMemoLimit bounds the resident non-default parameterizations per
+// engine. Parameter values are request inputs — on a served engine,
+// client-controlled — so without a bound a scan over ?seed=1,2,3,…
+// would grow the memo map without limit. Default-parameter entries
+// (the fixed registry names the report renders) are never evicted;
+// beyond the bound the oldest parameterized entry is dropped and a
+// repeat request simply recomputes it (deterministically, so evicting
+// mid-flight readers is harmless — they keep their own result).
+const paramMemoLimit = 512
 
 // memo is one lazily computed analysis result.
 type memo struct {
@@ -75,7 +96,7 @@ func WithSeed(seed int64) Option {
 func New(opts ...Option) *Engine {
 	e := &Engine{
 		src:   SynthSource{Options: synth.DefaultOptions()},
-		memos: map[string]*memo{},
+		memos: map[memoKey]*memo{},
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -139,19 +160,51 @@ func (e *UnknownAnalysisError) Error() string {
 		e.Name, strings.Join(e.Available, ", "))
 }
 
-// Analysis computes one named analysis from the registry, memoized per
-// engine: the first call pays for the computation (and, transitively,
-// for corpus ingestion), every later call returns the cached result.
+// Request selects one analysis computation: a registry name plus a
+// resolved parameter bag. The zero Params means "all defaults" — the
+// engine resolves it against the registration's schema — so
+// Request{Name: "fig3"} is exactly the old by-name selection. Build
+// non-default bags with reg.Params.Resolve(raw).
+type Request struct {
+	Name   string
+	Params analysis.Params
+}
+
+// Analysis computes one named analysis with default parameters,
+// memoized per engine: the first call pays for the computation (and,
+// transitively, for corpus ingestion), every later call returns the
+// cached result.
 func (e *Engine) Analysis(name string) (any, error) {
-	reg, ok := analysis.Lookup(name)
+	return e.AnalysisRequest(Request{Name: name})
+}
+
+// AnalysisRequest computes one parameterized analysis, memoized per
+// (name, canonical params): requesting clusters with k=3 and k=5 holds
+// two independent cache entries, while two spellings of the same
+// parameterization — including defaults spelled out — share one.
+func (e *Engine) AnalysisRequest(req Request) (any, error) {
+	reg, ok := analysis.Lookup(req.Name)
 	if !ok {
-		return nil, &UnknownAnalysisError{Name: name, Available: analysis.SortedNames()}
+		return nil, &UnknownAnalysisError{Name: req.Name, Available: analysis.SortedNames()}
 	}
+	params := req.Params
+	if params.IsZero() {
+		params = reg.DefaultParams() // resolved once, at registration
+	}
+	key := memoKey{name: req.Name, params: params.Canonical()}
 	e.mu.Lock()
-	m := e.memos[name]
+	m := e.memos[key]
 	if m == nil {
 		m = &memo{}
-		e.memos[name] = m
+		e.memos[key] = m
+		if key.params != "" {
+			e.paramOrder = append(e.paramOrder, key)
+			if len(e.paramOrder) > paramMemoLimit {
+				delete(e.memos, e.paramOrder[0])
+				copy(e.paramOrder, e.paramOrder[1:])
+				e.paramOrder = e.paramOrder[:paramMemoLimit]
+			}
+		}
 	}
 	e.mu.Unlock()
 	m.once.Do(func() {
@@ -163,7 +216,7 @@ func (e *Engine) Analysis(name string) (any, error) {
 				return
 			}
 		}
-		m.val, m.err = reg.Func(ds)
+		m.val, m.err = reg.Func(ds, params)
 	})
 	return m.val, m.err
 }
@@ -182,59 +235,97 @@ func AnalysisAs[T any](e *Engine, name string) (T, error) {
 	return t, nil
 }
 
-// Result is one named analysis outcome, as selected by Run.
+// Result is one analysis outcome, as selected by Run or RunRequests.
+// Params is the canonical non-default parameter string of the request
+// ("" — and absent from JSON — for a default request, keeping
+// parameterless output byte-identical to the pre-params engine).
 type Result struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
+	Params      string `json:"params,omitempty"`
 	Value       any    `json:"value"`
 }
 
 // Run computes the named analyses (all registered ones when names is
-// empty, in registration order) concurrently across the engine's worker
-// pool and returns them in request order. The memo cache makes the
-// fan-out safe — each analysis still runs at most once per engine, with
-// a full report costing max(analysis) wall-clock instead of
-// sum(analysis) — and errors stay deterministic: the lowest-index
-// failure wins, matching forEachParallel. Re-running a name is free.
+// empty, in registration order) with default parameters; sugar over
+// RunRequests.
 func (e *Engine) Run(names ...string) ([]Result, error) {
+	return e.RunRequests(requestsFor(names)...)
+}
+
+// requestsFor maps names to default-parameter requests (empty = every
+// registered analysis, in registration order).
+func requestsFor(names []string) []Request {
 	if len(names) == 0 {
 		names = analysis.Names()
 	}
-	if err := e.compute(names, nil); err != nil {
+	reqs := make([]Request, len(names))
+	for i, name := range names {
+		reqs[i] = Request{Name: name}
+	}
+	return reqs
+}
+
+// RunRequests computes the requested analyses (empty = all registered
+// ones with default parameters) concurrently across the engine's worker
+// pool and returns them in request order. The memo cache makes the
+// fan-out safe — each (name, params) pair still runs at most once per
+// engine, with a full report costing max(analysis) wall-clock instead
+// of sum(analysis) — and errors stay deterministic: the lowest-index
+// failure wins, matching forEachParallel. Re-running a request is free.
+func (e *Engine) RunRequests(reqs ...Request) ([]Result, error) {
+	if len(reqs) == 0 {
+		reqs = requestsFor(nil)
+	}
+	if err := e.compute(reqs, nil); err != nil {
 		return nil, err
 	}
-	out := make([]Result, 0, len(names))
-	for _, name := range names {
-		v, err := e.Analysis(name) // memoized by compute: a cache read
+	out := make([]Result, 0, len(reqs))
+	for _, req := range reqs {
+		v, err := e.AnalysisRequest(req) // memoized by compute: a cache read
 		if err != nil {
 			return nil, err
 		}
-		reg, _ := analysis.Lookup(name)
-		out = append(out, Result{Name: name, Description: reg.Description, Value: v})
+		reg, _ := analysis.Lookup(req.Name)
+		out = append(out, Result{
+			Name:        req.Name,
+			Description: reg.Description,
+			Params:      req.Params.Canonical(),
+			Value:       v,
+		})
 	}
 	return out, nil
 }
 
-// compute fans the named analyses out across a bounded worker pool
+// compute fans the requested analyses out across a bounded worker pool
 // (e.workers, 0 = GOMAXPROCS) and populates the memo cache. Names in
 // optional still warm the cache but do not fail the batch. Corpus
 // ingestion happens once: the first worker to need the dataset pays for
 // it inside dsOnce while the others block on the same sync.Once.
-func (e *Engine) compute(names []string, optional map[string]bool) error {
-	return forEachParallel(len(names), e.workers, func(i int) error {
-		_, err := e.Analysis(names[i])
-		if optional[names[i]] {
+func (e *Engine) compute(reqs []Request, optional map[string]bool) error {
+	return forEachParallel(len(reqs), e.workers, func(i int) error {
+		_, err := e.AnalysisRequest(reqs[i])
+		if optional[reqs[i].Name] {
 			return nil
 		}
 		return err
 	})
 }
 
-// WriteJSON runs the named analyses (empty = all) and writes them as an
-// indented JSON array of {name, description, value} objects — the
-// machine-readable sibling of WriteReport.
+// WriteJSON runs the named analyses (empty = all) with default
+// parameters and writes them as an indented JSON array of
+// {name, description, value} objects — the machine-readable sibling of
+// WriteReport.
 func (e *Engine) WriteJSON(w io.Writer, names ...string) error {
-	results, err := e.Run(names...)
+	return e.WriteJSONRequests(w, requestsFor(names)...)
+}
+
+// WriteJSONRequests runs the requested analyses (empty = all, default
+// parameters) and writes them as an indented JSON array; requests with
+// non-default parameters additionally carry their canonical params
+// string.
+func (e *Engine) WriteJSONRequests(w io.Writer, reqs ...Request) error {
+	results, err := e.RunRequests(reqs...)
 	if err != nil {
 		return err
 	}

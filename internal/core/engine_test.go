@@ -239,6 +239,185 @@ func TestEngineConcurrentHammer(t *testing.T) {
 	}
 }
 
+// The param probe registers once per process and counts invocations
+// per canonical parameterization, so tests can assert which
+// parameterizations actually computed.
+var (
+	paramProbeOnce  sync.Once
+	paramProbeCalls sync.Map // canonical string → *atomic.Int64
+)
+
+func registerParamProbe() {
+	paramProbeOnce.Do(func() {
+		analysis.RegisterParams("test_param_probe", "param memoization probe (test only)",
+			analysis.Schema{{Name: "k", Kind: analysis.KindInt, Default: 1}},
+			func(ds *analysis.Dataset, p analysis.Params) (any, error) {
+				c, _ := paramProbeCalls.LoadOrStore(p.Canonical(), new(atomic.Int64))
+				c.(*atomic.Int64).Add(1)
+				return p.Int("k") * len(ds.Raw), nil
+			})
+	})
+}
+
+func paramProbeCount(canonical string) int64 {
+	c, ok := paramProbeCalls.Load(canonical)
+	if !ok {
+		return 0
+	}
+	return c.(*atomic.Int64).Load()
+}
+
+func paramProbeParams(t *testing.T, raw map[string]string) analysis.Params {
+	t.Helper()
+	reg, ok := analysis.Lookup("test_param_probe")
+	if !ok {
+		t.Fatal("probe not registered")
+	}
+	p, err := reg.Params.Resolve(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEngineParamMemoization: one engine holds an independent memo per
+// (name, canonical params) — k=3 and k=5 each compute exactly once and
+// return distinct values — while spelled-out defaults share the
+// default entry.
+func TestEngineParamMemoization(t *testing.T) {
+	registerParamProbe()
+	eng := smallEngine(t)
+	k3 := paramProbeParams(t, map[string]string{"k": "3"})
+	k5 := paramProbeParams(t, map[string]string{"k": "5"})
+	before3, before5 := paramProbeCount("k=3"), paramProbeCount("k=5")
+	beforeDef := paramProbeCount("")
+
+	var got3, got5 any
+	for i := 0; i < 3; i++ {
+		var err error
+		if got3, err = eng.AnalysisRequest(Request{Name: "test_param_probe", Params: k3}); err != nil {
+			t.Fatal(err)
+		}
+		if got5, err = eng.AnalysisRequest(Request{Name: "test_param_probe", Params: k5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got3 == got5 {
+		t.Errorf("k=3 and k=5 returned the same value %v", got3)
+	}
+	if d := paramProbeCount("k=3") - before3; d != 1 {
+		t.Errorf("k=3 computed %d times, want 1", d)
+	}
+	if d := paramProbeCount("k=5") - before5; d != 1 {
+		t.Errorf("k=5 computed %d times, want 1", d)
+	}
+
+	// A default-params request — by name, as a zero-params request, and
+	// with the default spelled out — shares one memo entry.
+	if _, err := eng.Analysis("test_param_probe"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AnalysisRequest(Request{Name: "test_param_probe"}); err != nil {
+		t.Fatal(err)
+	}
+	spelled := paramProbeParams(t, map[string]string{"k": "1"})
+	if spelled.Canonical() != "" {
+		t.Fatalf("spelled-out default canonicalizes to %q", spelled.Canonical())
+	}
+	if _, err := eng.AnalysisRequest(Request{Name: "test_param_probe", Params: spelled}); err != nil {
+		t.Fatal(err)
+	}
+	if d := paramProbeCount("") - beforeDef; d != 1 {
+		t.Errorf("default parameterization computed %d times, want 1", d)
+	}
+}
+
+// TestEngineParamMemoBound: parameter values are request inputs, so
+// the per-engine memo must not grow without bound when a client scans
+// them — beyond the cap the oldest parameterized entry is evicted
+// (and recomputes on a repeat request), while default entries stay.
+func TestEngineParamMemoBound(t *testing.T) {
+	registerParamProbe()
+	eng := smallEngine(t)
+	if _, err := eng.Analysis("test_param_probe"); err != nil { // default entry
+		t.Fatal(err)
+	}
+	for i := 0; i < paramMemoLimit+10; i++ {
+		p := paramProbeParams(t, map[string]string{"k": fmt.Sprint(i + 2)})
+		if _, err := eng.AnalysisRequest(Request{Name: "test_param_probe", Params: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.mu.Lock()
+	memos, order := len(eng.memos), len(eng.paramOrder)
+	_, defaultKept := eng.memos[memoKey{name: "test_param_probe"}]
+	eng.mu.Unlock()
+	if order != paramMemoLimit {
+		t.Errorf("paramOrder holds %d keys, want the cap %d", order, paramMemoLimit)
+	}
+	if memos > paramMemoLimit+1 {
+		t.Errorf("memo map holds %d entries, want <= cap+default = %d",
+			memos, paramMemoLimit+1)
+	}
+	if !defaultKept {
+		t.Error("default-parameter entry was evicted")
+	}
+	// An evicted parameterization recomputes instead of erroring.
+	before := paramProbeCount("k=2")
+	p := paramProbeParams(t, map[string]string{"k": "2"})
+	if _, err := eng.AnalysisRequest(Request{Name: "test_param_probe", Params: p}); err != nil {
+		t.Fatal(err)
+	}
+	if d := paramProbeCount("k=2") - before; d != 1 {
+		t.Errorf("evicted entry recomputed %d times on re-request, want 1", d)
+	}
+}
+
+// TestEngineRunRequests: request-order results with per-request params,
+// the canonical string carried on each Result, and default requests
+// indistinguishable from the by-name path.
+func TestEngineRunRequests(t *testing.T) {
+	registerParamProbe()
+	eng := smallEngine(t)
+	k3 := paramProbeParams(t, map[string]string{"k": "3"})
+	results, err := eng.RunRequests(
+		Request{Name: "funnel"},
+		Request{Name: "test_param_probe", Params: k3},
+		Request{Name: "test_param_probe"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || results[0].Name != "funnel" || results[1].Name != "test_param_probe" {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Params != "" || results[1].Params != "k=3" || results[2].Params != "" {
+		t.Errorf("params carried as %q/%q/%q, want \"\"/\"k=3\"/\"\"",
+			results[0].Params, results[1].Params, results[2].Params)
+	}
+	if results[1].Value == results[2].Value {
+		t.Errorf("k=3 and default returned the same value %v", results[1].Value)
+	}
+	// The JSON encoding omits params for default requests (back-compat)
+	// and carries them for parameterized ones.
+	var buf bytes.Buffer
+	if err := eng.WriteJSONRequests(&buf,
+		Request{Name: "test_param_probe", Params: k3},
+		Request{Name: "funnel"}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if string(decoded[0]["params"]) != `"k=3"` {
+		t.Errorf("parameterized JSON params = %s", decoded[0]["params"])
+	}
+	if _, ok := decoded[1]["params"]; ok {
+		t.Error("default request JSON carries a params field")
+	}
+}
+
 // TestEngineRunParallelDeterministicError: with several unknown names in
 // one parallel batch, the lowest-index failure wins every time.
 func TestEngineRunParallelDeterministicError(t *testing.T) {

@@ -87,10 +87,10 @@ func (e *Engine) WriteReport(w io.Writer) error {
 	// dropped rather than failed: a stale warm-list entry only loses
 	// pre-warming, it must not break a report no render site needs it
 	// for (TestReportAnalysesRegistered guards the list against drift).
-	warm := reportAnalyses[:0:0]
+	var warm []Request
 	for _, name := range reportAnalyses {
 		if _, ok := analysis.Lookup(name); ok {
-			warm = append(warm, name)
+			warm = append(warm, Request{Name: name})
 		}
 	}
 	if err := e.compute(warm, map[string]bool{"changepoint": true}); err != nil {
@@ -228,20 +228,17 @@ func (e *Engine) WriteReport(w io.Writer) error {
 	return nil
 }
 
-// WriteReport prints the full study report.
-//
-// Deprecated: call Engine.WriteReport.
-func (s *Study) WriteReport(w io.Writer) error {
-	return s.engine().WriteReport(w)
-}
-
 // WriteAnalysisText renders one named analysis result as terminal text.
 // Known result types get the same rendering the full report uses;
 // anything else falls back to indented JSON, so externally registered
 // analyses print usefully too.
 func WriteAnalysisText(w io.Writer, res Result) error {
-	fmt.Fprintf(w, "\n%s — %s\n%s\n", res.Name, res.Description,
-		strings.Repeat("=", utf8.RuneCountInString(res.Name)+3+
+	title := res.Name
+	if res.Params != "" {
+		title += "?" + res.Params
+	}
+	fmt.Fprintf(w, "\n%s — %s\n%s\n", title, res.Description,
+		strings.Repeat("=", utf8.RuneCountInString(title)+3+
 			utf8.RuneCountInString(res.Description)))
 	switch v := res.Value.(type) {
 	case analysis.Funnel:

@@ -4,14 +4,29 @@
 // # Endpoints
 //
 //	GET /healthz                   liveness probe
-//	GET /v1/analyses               the registry listing: {name, description}
-//	GET /v1/analyses/{name}        one analysis result as {name, description, filter, value}
+//	GET /v1/analyses               the registry listing: {name, description, params}
+//	GET /v1/analyses/{name}        one analysis result as {name, description, filter, params, value}
 //	GET /v1/report                 the full text report
 //	GET /v1/stats                  serving metrics (requests, pool, cache hits)
 //
 // The analysis and report endpoints accept ?filter=EXPR, a
 // core.ParseFilter corpus-slice expression ("vendor=AMD,since=2021"),
 // selecting the scope the analysis runs over.
+//
+// # Typed parameters
+//
+// Every other query key is a typed parameter of the requested analysis,
+// validated against the schema its registration declares
+// (analysis.Registration.Params) — /v1/analyses/clusters?k=5&seed=3
+// asks the clustering subsystem for a five-way partition under seed 3.
+// An unknown key, an unparsable or out-of-range value, or a combination
+// the analysis rejects (algo=hac without k or cut) is answered 400 with
+// the declared schema echoed in the body, before any engine is built or
+// corpus ingested. Resolved parameters canonicalize to their sorted
+// non-default assignments; the canonical string keys the engine's memo
+// (k=3 and k=5 are independent cached scenarios on one scope engine)
+// and joins the ETag (each parameterization revalidates independently,
+// and spelling a default out shares the default's validator).
 //
 // # The scope-keyed engine pool
 //
@@ -35,7 +50,7 @@
 // # ETags
 //
 // Responses carry strong ETags derived from (corpus fingerprint,
-// endpoint, analysis name, canonical filter). The fingerprint comes
+// endpoint, analysis name, canonical filter, canonical params). The fingerprint comes
 // from core.SourceFingerprint — for directory corpora a digest of every
 // file's path, size, and mtime; for synthetic corpora the generator
 // options — so the validator changes exactly when the served bytes

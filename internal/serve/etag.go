@@ -18,13 +18,18 @@ func etagFor(parts ...string) string {
 
 // etagMatches reports whether an If-None-Match header value matches
 // etag, per RFC 9110 weak comparison (which If-None-Match mandates):
-// "*" matches anything, W/ prefixes are ignored, and the list form is
-// honored.
+// W/ prefixes are ignored and the list form is honored. The "*" form
+// is deliberately NOT honored: per the RFC it matches only when a
+// current representation exists, and these handlers evaluate the
+// precondition before computing — a request that would turn out to be
+// a 400 (bad parameter combination) or 500 has no representation, so
+// answering "*" with a 304 would assert a cached resource that never
+// existed. Clients revalidate with the specific validator they hold.
 func etagMatches(header, etag string) bool {
 	for _, cand := range strings.Split(header, ",") {
 		cand = strings.TrimSpace(cand)
 		cand = strings.TrimPrefix(cand, "W/")
-		if cand == "*" || cand == etag {
+		if cand == etag {
 			return true
 		}
 	}

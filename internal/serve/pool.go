@@ -22,8 +22,12 @@ type scope struct {
 // parseScope canonicalizes and compiles a ?filter= expression. The
 // canonical form — lower-cased, space-trimmed clauses in sorted order —
 // keys the engine pool, so semantically equal spellings share one
-// engine. Filter comparisons are case-insensitive throughout
-// core.ParseFilter, which makes the lower-casing safe.
+// engine. An expression with no clauses left after trimming (absent,
+// empty-but-present ?filter=, whitespace, bare commas) canonicalizes to
+// the zero scope, so every such spelling shares the single unfiltered
+// pool entry rather than keying duplicates. Filter comparisons are
+// case-insensitive throughout core.ParseFilter, which makes the
+// lower-casing safe.
 func parseScope(expr string) (scope, error) {
 	var clauses []string
 	for _, c := range strings.Split(strings.ToLower(expr), ",") {

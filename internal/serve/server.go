@@ -3,8 +3,10 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"time"
 
 	"repro/internal/analysis"
@@ -127,10 +129,54 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// listEntry is one row of the registry listing.
+// paramInfo is the wire form of one declared parameter, echoed by the
+// registry listing and by 400 responses so a client that sent a bad
+// request learns the schema without a second round trip.
+type paramInfo struct {
+	Name        string   `json:"name"`
+	Kind        string   `json:"kind"`
+	Default     string   `json:"default,omitempty"`
+	Enum        []string `json:"enum,omitempty"`
+	Description string   `json:"description,omitempty"`
+}
+
+func schemaInfo(s analysis.Schema) []paramInfo {
+	if len(s) == 0 {
+		return nil
+	}
+	info := make([]paramInfo, len(s))
+	for i, p := range s {
+		info[i] = paramInfo{
+			Name:        p.Name,
+			Kind:        p.Kind.String(),
+			Default:     p.DefaultString(),
+			Enum:        p.Enum,
+			Description: p.Description,
+		}
+	}
+	return info
+}
+
+// paramErrorBody is the 400 envelope for parameter failures: the error
+// plus the analysis's declared schema.
+type paramErrorBody struct {
+	Error  string      `json:"error"`
+	Schema []paramInfo `json:"schema"`
+}
+
+func paramError(w http.ResponseWriter, reg analysis.Registration, err error) {
+	writeJSON(w, http.StatusBadRequest, paramErrorBody{
+		Error:  err.Error(),
+		Schema: schemaInfo(reg.Params),
+	})
+}
+
+// listEntry is one row of the registry listing: the registry row plus
+// the declared parameter schema (absent for parameterless analyses).
 type listEntry struct {
-	Name        string `json:"name"`
-	Description string `json:"description"`
+	Name        string      `json:"name"`
+	Description string      `json:"description"`
+	Params      []paramInfo `json:"params,omitempty"`
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -140,8 +186,19 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	etagParts = append(etagParts, "list")
 	for _, name := range names {
 		reg, _ := analysis.Lookup(name)
-		entries = append(entries, listEntry{Name: name, Description: reg.Description})
+		entries = append(entries, listEntry{
+			Name:        name,
+			Description: reg.Description,
+			Params:      schemaInfo(reg.Params),
+		})
 		etagParts = append(etagParts, name, reg.Description)
+		for _, p := range reg.Params {
+			// The schema is part of the listing's identity: a changed
+			// default, description, or domain — anything the body
+			// serves — must invalidate cached listings.
+			etagParts = append(etagParts, fmt.Sprintf("param:%s:%s:%s:%v:%s",
+				p.Name, p.Kind, p.DefaultString(), p.Enum, p.Description))
+		}
 	}
 	etag := etagFor(etagParts...)
 	writeValidator(w, etag)
@@ -153,13 +210,30 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 // analysisResponse is the body of /v1/analyses/{name}: the registry
-// row plus the scope it was computed over, so consumers need no second
-// lookup.
+// row plus the scope and canonical parameters it was computed over, so
+// consumers need no second lookup. Params is the canonical non-default
+// string — absent for a default request, keeping parameterless
+// responses byte-compatible with the pre-params server.
 type analysisResponse struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
 	Filter      string `json:"filter,omitempty"`
+	Params      string `json:"params,omitempty"`
 	Value       any    `json:"value"`
+}
+
+// rawParams collects every query key except the reserved "filter" as a
+// raw parameter assignment for the schema to resolve (first value wins,
+// matching url.Values.Get).
+func rawParams(q url.Values) map[string]string {
+	raw := make(map[string]string, len(q))
+	for key, vals := range q {
+		if key == "filter" || len(vals) == 0 {
+			continue
+		}
+		raw[key] = vals[0]
+	}
+	return raw
 }
 
 func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
@@ -172,23 +246,41 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	sc, err := parseScope(r.URL.Query().Get("filter"))
+	q := r.URL.Query()
+	sc, err := parseScope(q.Get("filter"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	// Resolve query parameters against the declared schema before
+	// touching the pool: an unknown key or a failed validation is a 400
+	// carrying the schema, and must not build an engine or ingest
+	// anything. The param-less hot path (including 304 revalidations)
+	// skips the resolve entirely — the bag was resolved once, at
+	// registration.
+	params := reg.DefaultParams()
+	if raw := rawParams(q); len(raw) > 0 {
+		var err error
+		if params, err = reg.Params.Resolve(raw); err != nil {
+			paramError(w, reg, err)
+			return
+		}
 	}
 	ent, err := s.pool.get(sc)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	etag := etagFor(ent.fingerprint, "analysis", name, sc.expr)
+	// The canonical param string joins the validator identity, so
+	// ?k=3 and ?k=5 on one scope revalidate independently while two
+	// spellings of the same parameterization share one ETag.
+	etag := etagFor(ent.fingerprint, "analysis", name, sc.expr, params.Canonical())
 	if notModified(r, etag) {
 		writeValidator(w, etag)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	v, err := ent.eng.Analysis(name)
+	v, err := ent.eng.AnalysisRequest(core.Request{Name: name, Params: params})
 	if err != nil {
 		// A broken corpus poisons every analysis of the scope: drop the
 		// entry so the next request retries ingestion instead of
@@ -196,6 +288,14 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		// errors on a healthy corpus keeps its (cheap, memoized) entry.
 		if ent.eng.IngestionFailed() {
 			s.pool.drop(ent)
+		}
+		// Parameter combinations the per-key validation cannot see
+		// (hac without k or cut, k beyond the scope's corpus) blame the
+		// request, not the server.
+		var bad *analysis.BadParamsError
+		if errors.As(err, &bad) {
+			paramError(w, reg, err)
+			return
 		}
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -208,12 +308,25 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		Name:        name,
 		Description: reg.Description,
 		Filter:      sc.expr,
+		Params:      params.Canonical(),
 		Value:       v,
 	})
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	sc, err := parseScope(r.URL.Query().Get("filter"))
+	q := r.URL.Query()
+	// The report renders fixed sections with default parameters, so any
+	// key but filter is a mistake — a typo'd ?filtre= must not silently
+	// serve the unfiltered corpus (the same refusal specanalyze gives
+	// -p without -only/-json).
+	for key := range q {
+		if key != "filter" {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf(
+				"report takes no parameters: unknown query key %q (only filter)", key))
+			return
+		}
+	}
+	sc, err := parseScope(q.Get("filter"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return

@@ -204,6 +204,228 @@ func TestAnalysisUnknownName(t *testing.T) {
 	}
 }
 
+// TestAnalysisParamScenarios is the parameterized-API acceptance test:
+// one scope engine concurrently serves clusters with k=3 and k=5 —
+// distinct memoized results, distinct ETags, both independently
+// 304-revalidatable — while a spelled-out default shares the default
+// request's validator, and the whole family shares one engine build
+// and one ingestion.
+func TestAnalysisParamScenarios(t *testing.T) {
+	s, streams := testServer(t, Config{})
+
+	type outcome struct {
+		code int
+		etag string
+		k    int
+	}
+	fetch := func(path string, hdr ...string) outcome {
+		rec := get(t, s, path, hdr...)
+		var body struct {
+			Params string `json:"params"`
+			Value  struct {
+				K int `json:"k"`
+			} `json:"value"`
+		}
+		if rec.Code == http.StatusOK {
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+		}
+		return outcome{code: rec.Code, etag: rec.Header().Get("ETag"), k: body.Value.K}
+	}
+
+	// Concurrent cold requests for both parameterizations.
+	var wg sync.WaitGroup
+	outs := make([]outcome, 8)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := 3 + 2*(i%2) // alternate k=3 / k=5
+			outs[i] = fetch(fmt.Sprintf("/v1/analyses/clusters?k=%d", k))
+		}(i)
+	}
+	wg.Wait()
+	for i, out := range outs {
+		wantK := 3 + 2*(i%2)
+		if out.code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, out.code)
+		}
+		if out.k != wantK {
+			t.Errorf("request %d: clustered into k=%d, want %d", i, out.k, wantK)
+		}
+		if out.etag == "" || out.etag != outs[i%2].etag {
+			t.Errorf("request %d: ETag %q differs within the k=%d family", i, out.etag, wantK)
+		}
+	}
+	if outs[0].etag == outs[1].etag {
+		t.Error("k=3 and k=5 share an ETag — 304s would serve the wrong partition")
+	}
+	if got := s.Stats().EngineBuilds; got != 1 {
+		t.Errorf("param scenarios built %d engines, want 1 shared scope engine", got)
+	}
+	if got := streams.Load(); got != 1 {
+		t.Errorf("corpus streamed %d times across scenarios, want 1", got)
+	}
+
+	// Each parameterization revalidates independently.
+	for i := 0; i < 2; i++ {
+		k := 3 + 2*i
+		path := fmt.Sprintf("/v1/analyses/clusters?k=%d", k)
+		rec := get(t, s, path, "If-None-Match", outs[i].etag)
+		if rec.Code != http.StatusNotModified || rec.Body.Len() != 0 {
+			t.Errorf("k=%d revalidation: status %d, %d-byte body, want bare 304",
+				k, rec.Code, rec.Body.Len())
+		}
+		// The other parameterization's validator must not match.
+		rec = get(t, s, path, "If-None-Match", outs[1-i].etag)
+		if rec.Code != http.StatusOK {
+			t.Errorf("k=%d with the other family's ETag: status %d, want 200", k, rec.Code)
+		}
+	}
+
+	// A default request and the defaults spelled out share a validator;
+	// a param request echoes its canonical (non-default) params.
+	def := fetch("/v1/analyses/clusters")
+	spelled := fetch("/v1/analyses/clusters?seed=14&kmin=2&kmax=8&algo=kmeans")
+	if def.code != http.StatusOK || spelled.code != http.StatusOK {
+		t.Fatalf("default/spelled status %d/%d", def.code, spelled.code)
+	}
+	if def.etag != spelled.etag {
+		t.Errorf("spelled-out defaults got ETag %q, want the default %q", spelled.etag, def.etag)
+	}
+	var echoed struct {
+		Params string `json:"params"`
+	}
+	rec := get(t, s, "/v1/analyses/clusters?k=3")
+	if err := json.Unmarshal(rec.Body.Bytes(), &echoed); err != nil {
+		t.Fatal(err)
+	}
+	if echoed.Params != "k=3" {
+		t.Errorf("params echoed as %q, want %q", echoed.Params, "k=3")
+	}
+	if rec := get(t, s, "/v1/analyses/clusters"); strings.Contains(rec.Body.String(), `"params"`) {
+		t.Error("default response carries a params field (breaks byte-compat)")
+	}
+}
+
+// TestAnalysisParamErrors: unknown keys and invalid values are 400s
+// carrying the declared schema — and they never build an engine or
+// touch the corpus. Compute-time combination errors (hac without a
+// stopping rule, k beyond the corpus) are also 400s, not 500s.
+func TestAnalysisParamErrors(t *testing.T) {
+	s, streams := testServer(t, Config{})
+	badQueries := []string{
+		"bogus=1",             // unknown key
+		"k=-1",                // fails the k >= 0 validation
+		"k=abc",               // unparsable int
+		"algo=ward",           // outside the enum
+		"features=score,nope", // unknown feature name
+		"kmin=7&kmax=3",       // inverted sweep range
+		"algo=hac&cut=NaN",    // non-finite floats defeat range checks
+		"algo=hac&cut=Inf",
+	}
+	for _, q := range badQueries {
+		rec := get(t, s, "/v1/analyses/clusters?"+q)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("?%s: status = %d, want 400 (body %s)", q, rec.Code, rec.Body)
+			continue
+		}
+		if etag := rec.Header().Get("ETag"); etag != "" {
+			t.Errorf("?%s: 400 carries ETag %q", q, etag)
+		}
+		var body struct {
+			Error  string `json:"error"`
+			Schema []struct {
+				Name string `json:"name"`
+				Kind string `json:"kind"`
+			} `json:"schema"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("?%s: %v", q, err)
+		}
+		if body.Error == "" {
+			t.Errorf("?%s: empty error", q)
+		}
+		names := map[string]string{}
+		for _, p := range body.Schema {
+			names[p.Name] = p.Kind
+		}
+		if names["k"] != "int" || names["algo"] != "enum" || names["features"] != "string-list" {
+			t.Errorf("?%s: schema echo incomplete: %v", q, names)
+		}
+	}
+	// Resolve-level 400s must not build an engine or ingest anything.
+	if got := streams.Load(); got != 0 {
+		// kmin/kmax inversion is caught at compute time and ingests once;
+		// everything before it is resolve-level. Allow exactly that one.
+		if got != 1 {
+			t.Errorf("param errors streamed the corpus %d times", got)
+		}
+	}
+	// Params on a parameterless analysis are unknown keys.
+	if rec := get(t, s, "/v1/analyses/funnel?k=3"); rec.Code != http.StatusBadRequest {
+		t.Errorf("funnel?k=3: status = %d, want 400", rec.Code)
+	}
+	// hac without k or cut: a compute-time combination error, still 400.
+	if rec := get(t, s, "/v1/analyses/clusters?algo=hac"); rec.Code != http.StatusBadRequest {
+		t.Errorf("algo=hac without k/cut: status = %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+	// And a valid hac request on the same (healthy, resident) scope
+	// engine still serves — the 400 must not have poisoned the pool.
+	if rec := get(t, s, "/v1/analyses/clusters?algo=hac&k=3"); rec.Code != http.StatusOK {
+		t.Errorf("algo=hac&k=3 after a 400: status = %d (body %s)", rec.Code, rec.Body)
+	}
+}
+
+// TestListSchemas: /v1/analyses describes each analysis's declared
+// parameters, and parameterless analyses stay schema-free.
+func TestListSchemas(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	rec := get(t, s, "/v1/analyses")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var entries []struct {
+		Name   string `json:"name"`
+		Params []struct {
+			Name    string   `json:"name"`
+			Kind    string   `json:"kind"`
+			Default string   `json:"default"`
+			Enum    []string `json:"enum"`
+		} `json:"params"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for i, e := range entries {
+		byName[e.Name] = i
+	}
+	clusters := entries[byName["clusters"]]
+	if len(clusters.Params) < 6 {
+		t.Fatalf("clusters schema lists %d params: %+v", len(clusters.Params), clusters.Params)
+	}
+	seen := map[string]bool{}
+	for _, p := range clusters.Params {
+		seen[p.Name] = true
+		if p.Name == "algo" && (p.Kind != "enum" || len(p.Enum) != 2 || p.Default != "kmeans") {
+			t.Errorf("algo param listed as %+v", p)
+		}
+		if p.Name == "seed" && p.Default != "14" {
+			t.Errorf("seed default listed as %q", p.Default)
+		}
+	}
+	for _, want := range []string{"k", "algo", "linkage", "cut", "seed", "features", "kmin", "kmax"} {
+		if !seen[want] {
+			t.Errorf("clusters schema missing %q", want)
+		}
+	}
+	if len(entries[byName["funnel"]].Params) != 0 {
+		t.Errorf("funnel lists params: %+v", entries[byName["funnel"]].Params)
+	}
+}
+
 func TestAnalysisBadFilter(t *testing.T) {
 	s, _ := testServer(t, Config{})
 	for _, filter := range []string{"color=red", "year=abc", "vendor"} {
