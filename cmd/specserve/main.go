@@ -3,10 +3,11 @@
 // (internal/cliutil), exposing
 //
 //	GET /healthz                      liveness
+//	GET /metrics                      Prometheus text exposition
 //	GET /v1/analyses                  registry listing with parameter schemas
 //	GET /v1/analyses/{name}?filter=   one analysis over a corpus slice
 //	GET /v1/report?filter=            the full text report
-//	GET /v1/stats                     serving metrics
+//	GET /v1/stats                     serving metrics (JSON, stage/analysis latency breakdowns)
 //
 // Each distinct ?filter= scope gets its own lazily built, memoized
 // engine from an LRU-bounded pool (single-flight construction, shared
@@ -19,13 +20,20 @@
 // The -filter flag pre-slices the corpus every request sees;
 // per-request ?filter= expressions compose on top of it.
 //
+// With -audit FILE, every attributable 200 (analysis and report
+// responses) appends a hash-chained provenance record — timestamp,
+// corpus fingerprint, analysis, canonical params, digest of the served
+// bytes — to FILE via a batching writer that never blocks the request
+// path on I/O. Verify the chain with `specaudit verify FILE`.
+//
 // Usage:
 //
 //	specserve [-addr :8080] [-in corpus/]... [-cache] [-workers 8]
 //	          [-filter expr] [-pool 32] [-max-inflight 64] [-warm]
+//	          [-audit audit.log]
 //
 // The server drains in-flight requests and exits cleanly on SIGINT or
-// SIGTERM.
+// SIGTERM; the audit log is flushed and closed as part of the drain.
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -50,6 +59,7 @@ func main() {
 	pool := flag.Int("pool", serve.DefaultPoolSize, "max resident scope engines (LRU-evicted beyond)")
 	inflight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "max concurrently served requests")
 	warm := flag.Bool("warm", false, "ingest the whole-corpus scope before accepting traffic")
+	auditPath := flag.String("audit", "", "append hash-chained audit records to this file (verify with specaudit)")
 	corpus := cliutil.RegisterCorpusFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -57,12 +67,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var audit *obs.AuditLog
+	if *auditPath != "" {
+		audit, err = obs.OpenAuditLog(*auditPath, obs.AuditOptions{})
+		if err != nil {
+			// A log that fails chain verification refuses to open —
+			// appending would bury the evidence. Operators keep the bad
+			// file for forensics and point -audit somewhere fresh.
+			log.Fatal(err)
+		}
+		log.Printf("auditing to %s (%d existing records)", *auditPath, audit.Records())
+	}
 	srv := serve.New(serve.Config{
 		Base:        src,
 		Workers:     corpus.Workers,
 		PoolSize:    *pool,
 		MaxInFlight: *inflight,
 		Logf:        log.Printf,
+		Audit:       audit,
 	})
 	if *warm {
 		log.Printf("warming corpus %s", src.Name())
@@ -94,6 +116,14 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
+		}
+		// In-flight requests have drained; close the audit log last so
+		// every served 200 made it into the chain.
+		if audit != nil {
+			if err := audit.Close(); err != nil {
+				log.Fatalf("audit: %v", err)
+			}
+			log.Printf("audit log closed: %d records", audit.Records())
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/model"
@@ -26,6 +27,7 @@ import (
 type Engine struct {
 	src     Source
 	workers int
+	obs     Observer
 
 	dsOnce sync.Once
 	dsDone atomic.Bool
@@ -80,6 +82,30 @@ func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
 }
 
+// Observer receives engine lifecycle timings, for serving layers that
+// aggregate them (see internal/obs). Nil fields are skipped; non-nil
+// ones must be safe for concurrent use — analyses compute in parallel.
+// Each callback fires exactly once per actual event: Ingest once per
+// engine that streamed its source (concurrent requests that merely
+// waited on the shared sync.Once do not re-fire it), Compute once per
+// memoized (analysis, params) computation — memo hits are silent.
+type Observer struct {
+	// Ingest is called after the corpus is streamed and classified:
+	// duration of the whole ingestion, runs delivered, and the
+	// ingestion error if any.
+	Ingest func(d time.Duration, runs int, err error)
+	// Compute is called after an analysis function executes (memo
+	// misses only) with the registry name, the canonical parameter
+	// string, the function's own duration (excluding any ingestion it
+	// waited on), and its error.
+	Compute func(name, params string, d time.Duration, err error)
+}
+
+// WithObserver installs lifecycle timing callbacks on the engine.
+func WithObserver(o Observer) Option {
+	return func(e *Engine) { e.obs = o }
+}
+
 // WithSeed selects the synthetic corpus with the given generation seed;
 // shorthand for WithSource(SynthSource{…}) when only the seed varies.
 func WithSeed(seed int64) Option {
@@ -111,6 +137,7 @@ func New(opts ...Option) *Engine {
 func (e *Engine) Dataset() (*analysis.Dataset, error) {
 	e.dsOnce.Do(func() {
 		defer e.dsDone.Store(true)
+		start := time.Now()
 		b := analysis.NewDatasetBuilder()
 		err := e.src.Each(e.workers, func(r *model.Run) error {
 			b.Add(r)
@@ -118,12 +145,18 @@ func (e *Engine) Dataset() (*analysis.Dataset, error) {
 		})
 		if err != nil {
 			e.dsErr = fmt.Errorf("core: source %s: %w", e.src.Name(), err)
+			if e.obs.Ingest != nil {
+				e.obs.Ingest(time.Since(start), 0, e.dsErr)
+			}
 			return
 		}
 		e.ds = b.Dataset()
 		// Analyses with internal parallelism (e.g. the trend tests)
 		// honor the same worker bound as the engine itself.
 		e.ds.Workers = e.workers
+		if e.obs.Ingest != nil {
+			e.obs.Ingest(time.Since(start), len(e.ds.Raw), nil)
+		}
 	})
 	return e.ds, e.dsErr
 }
@@ -216,7 +249,14 @@ func (e *Engine) AnalysisRequest(req Request) (any, error) {
 				return
 			}
 		}
+		// The compute timer starts after Dataset so the observer sees
+		// the analysis function's own cost, not the ingestion it may
+		// have been first to trigger — Ingest reports that separately.
+		start := time.Now()
 		m.val, m.err = reg.Func(ds, params)
+		if e.obs.Compute != nil {
+			e.obs.Compute(key.name, key.params, time.Since(start), m.err)
+		}
 	})
 	return m.val, m.err
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/model"
@@ -652,5 +653,111 @@ func TestEngineLazyConstruction(t *testing.T) {
 	}
 	if streams.Load() != 1 {
 		t.Fatalf("Dataset streamed %d times", streams.Load())
+	}
+}
+
+// TestEngineObserver: lifecycle callbacks fire exactly once per actual
+// event — one Ingest per streamed engine no matter how many goroutines
+// race on Dataset, one Compute per memoized computation (hits silent),
+// each with the analysis identity and a positive duration.
+func TestEngineObserver(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ingests, computes atomic.Int64
+	var ingestRuns atomic.Int64
+	type computeEvent struct {
+		name, params string
+	}
+	var mu sync.Mutex
+	var events []computeEvent
+	eng := New(WithSource(SliceSource(runs)), WithObserver(Observer{
+		Ingest: func(d time.Duration, n int, err error) {
+			if err != nil {
+				t.Errorf("ingest observer got error: %v", err)
+			}
+			if d <= 0 {
+				t.Error("ingest observer got non-positive duration")
+			}
+			ingests.Add(1)
+			ingestRuns.Store(int64(n))
+		},
+		Compute: func(name, params string, d time.Duration, err error) {
+			if err != nil {
+				t.Errorf("compute observer got error for %s: %v", name, err)
+			}
+			if d < 0 {
+				t.Errorf("compute observer got negative duration for %s", name)
+			}
+			computes.Add(1)
+			mu.Lock()
+			events = append(events, computeEvent{name, params})
+			mu.Unlock()
+		},
+	}))
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Run("fig3", "funnel"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := ingests.Load(); got != 1 {
+		t.Errorf("ingest fired %d times, want 1", got)
+	}
+	if got := ingestRuns.Load(); got != int64(len(runs)) {
+		t.Errorf("ingest reported %d runs, want %d", got, len(runs))
+	}
+	if got := computes.Load(); got != 2 {
+		t.Errorf("compute fired %d times, want 2 (fig3, funnel — hits silent)", got)
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		if ev.params != "" {
+			t.Errorf("default request reported params %q", ev.params)
+		}
+		seen[ev.name] = true
+	}
+	if !seen["fig3"] || !seen["funnel"] {
+		t.Errorf("compute events = %+v, want fig3 and funnel", events)
+	}
+
+	// Warm repeat: everything memoized, no further events.
+	if _, err := eng.Run("fig3", "funnel"); err != nil {
+		t.Fatal(err)
+	}
+	if ingests.Load() != 1 || computes.Load() != 2 {
+		t.Errorf("warm repeat re-fired observers: ingests=%d computes=%d",
+			ingests.Load(), computes.Load())
+	}
+}
+
+// TestEngineObserverIngestError: a failed ingestion still reports to
+// the observer, with the error and zero runs.
+func TestEngineObserverIngestError(t *testing.T) {
+	var gotErr error
+	var calls int
+	eng := New(WithSource(failingSource{}), WithObserver(Observer{
+		Ingest: func(d time.Duration, n int, err error) {
+			calls++
+			gotErr = err
+			if n != 0 {
+				t.Errorf("failed ingest reported %d runs", n)
+			}
+		},
+	}))
+	if _, err := eng.Dataset(); err == nil {
+		t.Fatal("failing source should error")
+	}
+	if calls != 1 || gotErr == nil {
+		t.Errorf("ingest observer: calls=%d err=%v, want 1 call with the error", calls, gotErr)
 	}
 }

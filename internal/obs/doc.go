@@ -1,0 +1,32 @@
+// Package obs is the observability and provenance layer behind
+// specserve: per-stage request timing aggregated into histograms and
+// exposed in Prometheus text format, plus a hash-chained audit log that
+// attributes every served result to the corpus state and parameters
+// that produced it.
+//
+// # Timing
+//
+// A request's life is split into flat stages — queue wait at the
+// concurrency gate, engine build, corpus ingestion, analysis compute,
+// response serialization — each recorded as nanoseconds in a
+// RequestMetrics and aggregated by a Collector into fixed-bucket
+// histograms (per stage, and per analysis for end-to-end latency).
+// The Collector serves two consumers: an enriched JSON snapshot for
+// /v1/stats (bucketed p50/p95 estimates per analysis) and a
+// Prometheus-text /metrics exposition (WritePrometheus), so existing
+// scrape tooling works without a client library dependency.
+//
+// # Audit
+//
+// An AuditLog appends one Record per attributable 200 response:
+// timestamp, corpus fingerprint, analysis name, canonical parameters,
+// and a digest of the served bytes, chained through core.Digest — each
+// record's hash covers the previous record's hash, so truncating,
+// reordering, or mutating any byte of any record breaks the chain from
+// that point on. VerifyChain detects the first broken record and
+// reports its index. Appends go through a batching writer (bounded
+// channel, background goroutine, flush on batch size, interval, or
+// Close) so the serving hot path never blocks on file I/O, and Close
+// drains every queued record before returning — a graceful shutdown
+// loses nothing.
+package obs

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ServerGauges carries the serving-layer counters and gauges whose
+// source of truth lives outside the Collector (the HTTP server's gate
+// and engine pool, the audit log), so the exposition can render one
+// consistent page without the Collector duplicating that state.
+type ServerGauges struct {
+	Requests      int64
+	NotModified   int64
+	ClientErrors  int64
+	ServerErrors  int64
+	RejectedBusy  int64
+	InFlight      int64
+	PoolEngines   int
+	EngineBuilds  int64
+	PoolEvictions int64
+	UptimeSeconds float64
+	Analyses      int
+
+	// AuditEnabled gates the audit metrics; AuditRecords counts chained
+	// records appended over the process lifetime.
+	AuditEnabled bool
+	AuditRecords int64
+}
+
+// seconds renders nanoseconds as a decimal seconds literal, the unit
+// Prometheus conventions mandate for duration metrics.
+func seconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'f', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func writeHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// writeHistogram renders one histogram series in exposition format,
+// seconds-valued, under a single label.
+func writeHistogram(w io.Writer, name, label, labelValue string, s HistogramSnapshot) {
+	lv := escapeLabel(labelValue)
+	for _, b := range s.Buckets {
+		le := "+Inf"
+		if b.UpperNs >= 0 {
+			le = seconds(b.UpperNs)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, lv, le, b.Cumulative)
+	}
+	fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, label, lv, seconds(s.SumNs))
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, lv, s.Count)
+}
+
+// WritePrometheus renders the full metrics page in Prometheus text
+// exposition format (version 0.0.4): the serving counters and gauges
+// from g, the per-stage duration histograms, and the per-analysis
+// request latency histograms.
+func (c *Collector) WritePrometheus(w io.Writer, g ServerGauges) {
+	counter := func(name, help string, v int64) {
+		writeHeader(w, name, "counter", help)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+	gauge := func(name, help string, v string) {
+		writeHeader(w, name, "gauge", help)
+		fmt.Fprintf(w, "%s %s\n", name, v)
+	}
+	counter("specserve_requests_total", "Requests served (all endpoints, all statuses).", g.Requests)
+	counter("specserve_not_modified_total", "304 responses served with zero recomputation.", g.NotModified)
+	counter("specserve_client_errors_total", "4xx responses (bad filters, unknown analyses, bad parameters).", g.ClientErrors)
+	counter("specserve_server_errors_total", "5xx responses (including gate rejections).", g.ServerErrors)
+	counter("specserve_rejected_busy_total", "Requests whose client gave up waiting at the concurrency gate.", g.RejectedBusy)
+	counter("specserve_engine_builds_total", "Scope engines built over the server lifetime.", g.EngineBuilds)
+	counter("specserve_ingests_total", "Corpus ingestions completed (one per engine that streamed its source).", c.ingests.Load())
+	counter("specserve_computes_total", "Analysis computations executed (memo misses only).", c.computes.Load())
+	counter("specserve_pool_evictions_total", "Scope engines evicted past the LRU bound.", g.PoolEvictions)
+	gauge("specserve_in_flight_requests", "Requests currently inside the concurrency gate.", strconv.FormatInt(g.InFlight, 10))
+	gauge("specserve_pool_engines", "Resident scope engines.", strconv.Itoa(g.PoolEngines))
+	gauge("specserve_registered_analyses", "Registered analyses, read live from the registry.", strconv.Itoa(g.Analyses))
+	gauge("specserve_uptime_seconds", "Seconds since the server was constructed.",
+		strconv.FormatFloat(g.UptimeSeconds, 'f', 3, 64))
+	if g.AuditEnabled {
+		counter("specserve_audit_records_total", "Hash-chained audit records appended.", g.AuditRecords)
+	}
+
+	c.mu.Lock()
+	stages := make(map[string]*Histogram, len(c.stages))
+	for k, v := range c.stages {
+		stages[k] = v
+	}
+	analyses := make(map[string]*Histogram, len(c.byAnalysis))
+	for k, v := range c.byAnalysis {
+		analyses[k] = v
+	}
+	c.mu.Unlock()
+
+	writeHeader(w, "specserve_stage_duration_seconds", "histogram",
+		"Time spent per request lifecycle stage (queue_wait and serialize per request; engine_build, ingest, and compute once per actual event).")
+	for _, stage := range Stages {
+		if h := stages[stage]; h != nil {
+			writeHistogram(w, "specserve_stage_duration_seconds", "stage", stage, h.Snapshot())
+		}
+	}
+
+	names := make([]string, 0, len(analyses))
+	for name := range analyses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeHeader(w, "specserve_request_duration_seconds", "histogram",
+		"End-to-end request latency per served analysis.")
+	for _, name := range names {
+		writeHistogram(w, "specserve_request_duration_seconds", "analysis", name, analyses[name].Snapshot())
+	}
+}

@@ -4,10 +4,11 @@
 // # Endpoints
 //
 //	GET /healthz                   liveness probe
+//	GET /metrics                   Prometheus text exposition (counters + latency histograms)
 //	GET /v1/analyses               the registry listing: {name, description, params}
 //	GET /v1/analyses/{name}        one analysis result as {name, description, filter, params, value}
 //	GET /v1/report                 the full text report
-//	GET /v1/stats                  serving metrics (requests, pool, cache hits)
+//	GET /v1/stats                  serving metrics (JSON; stage and per-analysis latency breakdowns)
 //
 // The analysis and report endpoints accept ?filter=EXPR, a
 // core.ParseFilter corpus-slice expression ("vendor=AMD,since=2021"),
@@ -60,11 +61,36 @@
 // revalidate (cheap: a 304) rather than serve possibly-stale copies
 // blindly.
 //
+// # Observability
+//
+// Every request carries an obs.RequestMetrics through its context: the
+// gate records queue wait, the handlers record engine acquisition,
+// compute, and serialize spans, and the outermost middleware folds the
+// finished request into the server's obs.Collector (and emits the
+// Config.Logf line). Engine-side events — corpus ingestion, memo-miss
+// computations — are timed by the engines themselves via core.Observer
+// and flow into the same collector, once per actual event rather than
+// once per request, so single-flight sharing cannot inflate them. The
+// aggregates surface twice from one source: /v1/stats as JSON (stage
+// and per-analysis percentile summaries) and /metrics as Prometheus
+// text exposition (cumulative histograms and counters).
+//
+// # Audit
+//
+// With Config.Audit set, every attributable 200 — an analysis or report
+// response, whose bytes derive from a corpus state — appends one record
+// to an obs.AuditLog: timestamp, scope fingerprint, analysis name,
+// canonical params, and a digest of the exact served bytes, each record
+// hash-chained to its predecessor. Listings, health, stats, errors, and
+// 304s are never audited. The append is a channel send; a batching
+// writer goroutine does the file I/O off the request path. The caller
+// owns the log's lifecycle and closes it after the server drains.
+//
 // # Operational behavior
 //
 // Requests pass a bounded-concurrency gate (Config.MaxInFlight; waiters
 // respect request-context cancellation and get 503 when the client
-// gives up) and a logging middleware (Config.Logf). cmd/specserve wires
-// the package to the shared corpus flags and adds graceful shutdown on
-// SIGINT/SIGTERM.
+// gives up). cmd/specserve wires the package to the shared corpus
+// flags, the -audit flag, and graceful shutdown on SIGINT/SIGTERM;
+// cmd/specaudit verifies the chains specserve writes.
 package serve

@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"context"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // statusWriter records the status and body size a handler produced, for
@@ -29,12 +32,31 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// metricsKey carries the request's obs.RequestMetrics through the
+// context so every layer — gate, pool, handler — fills in the stage it
+// owns without threading an extra parameter through http.Handler.
+type metricsKeyType struct{}
+
+var metricsKey metricsKeyType
+
+// requestMetrics returns the request's metrics record (never nil: a
+// request that somehow bypassed withMetrics gets a discardable one, so
+// handlers need no nil checks).
+func requestMetrics(r *http.Request) *obs.RequestMetrics {
+	if m, ok := r.Context().Value(metricsKey).(*obs.RequestMetrics); ok {
+		return m
+	}
+	return &obs.RequestMetrics{}
+}
+
 // withGate bounds request concurrency: at most MaxInFlight requests run
 // at once, later arrivals queue on the semaphore, and a queued client
 // that gives up (context canceled, connection gone) gets 503 instead of
-// holding a goroutine forever.
+// holding a goroutine forever. Time spent waiting for a slot is the
+// request's queue_wait stage.
 func (s *Server) withGate(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		wait := time.Now()
 		select {
 		case s.gate <- struct{}{}:
 		case <-r.Context().Done():
@@ -42,6 +64,7 @@ func (s *Server) withGate(next http.Handler) http.Handler {
 			httpError(w, http.StatusServiceUnavailable, "server busy")
 			return
 		}
+		requestMetrics(r).QueueWaitNs = time.Since(wait).Nanoseconds()
 		s.counters.inFlight.Add(1)
 		defer func() {
 			s.counters.inFlight.Add(-1)
@@ -51,20 +74,25 @@ func (s *Server) withGate(next http.Handler) http.Handler {
 	})
 }
 
-// withLogging counts every request and emits one Logf line per request
-// (method, path, status, bytes, duration).
-func (s *Server) withLogging(next http.Handler) http.Handler {
+// withMetrics is the outermost layer: it plants the request's metrics
+// record in the context, and when the handler chain returns it stamps
+// the final status and total duration and folds the record into the
+// collector — the single point every response (200, 304, 4xx, 5xx, and
+// gate 503s alike) is counted at. One Logf line per request when
+// configured, now with the stage breakdown.
+func (s *Server) withMetrics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		m := &obs.RequestMetrics{}
+		r = r.WithContext(context.WithValue(r.Context(), metricsKey, m))
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
-		s.counters.requests.Add(1)
-		switch {
-		case sw.status == http.StatusNotModified:
-			s.counters.notModified.Add(1)
-		case sw.status >= 500:
-			s.counters.errors.Add(1)
+		if sw.status == 0 {
+			sw.status = http.StatusOK // nothing written: net/http defaults to 200
 		}
+		m.Status = sw.status
+		m.TotalNs = time.Since(start).Nanoseconds()
+		s.metrics.ObserveRequest(m)
 		if s.cfg.Logf != nil {
 			s.cfg.Logf("%s %s %d %dB %s",
 				r.Method, r.URL.RequestURI(), sw.status, sw.bytes,

@@ -6,9 +6,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // scope is one corpus slice a client can request: the canonical filter
@@ -61,11 +63,15 @@ type poolEntry struct {
 	err         error
 }
 
-// enginePool maps canonical scopes to engines, LRU-bounded.
+// enginePool maps canonical scopes to engines, LRU-bounded. Every
+// engine it builds carries the pool's core.Observer, so ingest and
+// compute timings flow into the shared collector no matter which scope
+// they happen on.
 type enginePool struct {
 	base    core.Source
 	workers int
 	max     int
+	metrics *obs.Collector
 
 	mu      sync.Mutex
 	lru     *list.List // of *poolEntry; front = most recently served
@@ -75,13 +81,26 @@ type enginePool struct {
 	evictions atomic.Int64
 }
 
-func newEnginePool(base core.Source, workers, max int) *enginePool {
+func newEnginePool(base core.Source, workers, max int, metrics *obs.Collector) *enginePool {
 	return &enginePool{
 		base:    base,
 		workers: workers,
 		max:     max,
+		metrics: metrics,
 		lru:     list.New(),
 		byScope: map[string]*list.Element{},
+	}
+}
+
+// observer bridges engine lifecycle events into the collector.
+func (p *enginePool) observer() core.Observer {
+	return core.Observer{
+		Ingest: func(d time.Duration, runs int, err error) {
+			p.metrics.ObserveIngest(d.Nanoseconds())
+		},
+		Compute: func(name, params string, d time.Duration, err error) {
+			p.metrics.ObserveCompute(name, d.Nanoseconds())
+		},
 	}
 }
 
@@ -92,6 +111,7 @@ func newEnginePool(base core.Source, workers, max int) *enginePool {
 func (p *enginePool) get(sc scope) (*poolEntry, error) {
 	ent := p.entry(sc.expr)
 	ent.once.Do(func() {
+		start := time.Now()
 		src := p.source(sc)
 		fp, err := core.SourceFingerprint(src)
 		if err != nil {
@@ -103,7 +123,11 @@ func (p *enginePool) get(sc scope) (*poolEntry, error) {
 		}
 		p.builds.Add(1)
 		ent.fingerprint = fp
-		ent.eng = core.New(core.WithSource(src), core.WithWorkers(p.workers))
+		ent.eng = core.New(core.WithSource(src), core.WithWorkers(p.workers),
+			core.WithObserver(p.observer()))
+		// The build stage covers fingerprinting plus construction;
+		// ingestion stays lazy and is timed by the engine itself.
+		p.metrics.ObserveBuild(time.Since(start).Nanoseconds())
 	})
 	if ent.err != nil {
 		return nil, ent.err

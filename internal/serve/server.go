@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/synth"
 )
 
@@ -35,6 +36,12 @@ type Config struct {
 	MaxInFlight int
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
+	// Audit, when non-nil, receives one hash-chained provenance record
+	// per attributable 200 — analysis and report responses, whose bytes
+	// derive from a corpus state. Listings, health, stats, errors, and
+	// 304s (no bytes served) are never appended. The server does not
+	// own the log's lifecycle; the caller closes it after shutdown.
+	Audit *obs.AuditLog
 }
 
 // Server serves the analysis registry over HTTP. It is an http.Handler;
@@ -47,6 +54,8 @@ type Server struct {
 	handler  http.Handler
 	started  time.Time
 	counters counters
+	metrics  *obs.Collector
+	audit    *obs.AuditLog
 }
 
 // New builds a Server over cfg.
@@ -60,19 +69,23 @@ func New(cfg Config) *Server {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = DefaultMaxInFlight
 	}
+	metrics := obs.NewCollector()
 	s := &Server{
 		cfg:     cfg,
-		pool:    newEnginePool(cfg.Base, cfg.Workers, cfg.PoolSize),
+		pool:    newEnginePool(cfg.Base, cfg.Workers, cfg.PoolSize, metrics),
 		gate:    make(chan struct{}, cfg.MaxInFlight),
 		started: time.Now(),
+		metrics: metrics,
+		audit:   cfg.Audit,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/analyses", s.handleList)
 	mux.HandleFunc("GET /v1/analyses/{name}", s.handleAnalysis)
 	mux.HandleFunc("GET /v1/report", s.handleReport)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.handler = s.withLogging(s.withGate(mux))
+	s.handler = s.withMetrics(s.withGate(mux))
 	return s
 }
 
@@ -104,20 +117,31 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 	_ = json.NewEncoder(w).Encode(errorBody{Error: msg})
 }
 
-// writeJSON writes v indented, with the content type set. The encode
-// happens into a buffer first so a marshal failure can still become a
-// clean 500 instead of a truncated 200.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// encodeJSON renders v as the exact indented bytes a 200 would serve —
+// handlers that audit or digest the response encode once and reuse the
+// bytes for both the wire and the provenance record.
+func encodeJSON(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeJSON writes v indented, with the content type set. The encode
+// happens into a buffer first so a marshal failure can still become a
+// clean 500 instead of a truncated 200.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := encodeJSON(v)
+	if err != nil {
 		httpError(w, http.StatusInternalServerError, fmt.Sprintf("encode response: %v", err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_, _ = w.Write(buf.Bytes())
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -127,6 +151,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics serves the Prometheus text exposition: the same
+// counters /v1/stats reports, plus the per-stage and per-analysis
+// histograms in scrapeable form.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.metrics.WritePrometheus(&buf, s.gauges())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// appendAudit chains one provenance record for a served 200. The append
+// is a channel send — the batching writer does the file I/O off the
+// request path.
+func (s *Server) appendAudit(fingerprint, analysisName, params, filter string, body []byte) {
+	if s.audit == nil {
+		return
+	}
+	s.audit.Append(obs.Entry{
+		Time:         time.Now(),
+		Fingerprint:  fingerprint,
+		Analysis:     analysisName,
+		Params:       params,
+		Filter:       filter,
+		ResultDigest: obs.ResultDigest(body),
+	})
 }
 
 // paramInfo is the wire form of one declared parameter, echoed by the
@@ -266,7 +319,12 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	m := requestMetrics(r)
+	m.Analysis = name
+	m.Params = params.Canonical()
+	poolStart := time.Now()
 	ent, err := s.pool.get(sc)
+	m.EngineBuildNs = time.Since(poolStart).Nanoseconds()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -280,7 +338,9 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	computeStart := time.Now()
 	v, err := ent.eng.AnalysisRequest(core.Request{Name: name, Params: params})
+	m.ComputeNs = time.Since(computeStart).Nanoseconds()
 	if err != nil {
 		// A broken corpus poisons every analysis of the scope: drop the
 		// entry so the next request retries ingestion instead of
@@ -300,17 +360,29 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	// The validator is attached only now, to a response that represents
-	// the resource — an error above must not hand out an ETag that
-	// would later revalidate to a misleading 304.
-	writeValidator(w, etag)
-	writeJSON(w, http.StatusOK, analysisResponse{
+	serializeStart := time.Now()
+	body, err := encodeJSON(analysisResponse{
 		Name:        name,
 		Description: reg.Description,
 		Filter:      sc.expr,
 		Params:      params.Canonical(),
 		Value:       v,
 	})
+	m.SerializeNs = time.Since(serializeStart).Nanoseconds()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("encode response: %v", err))
+		return
+	}
+	// The validator is attached only now, to a response that represents
+	// the resource — an error above must not hand out an ETag that
+	// would later revalidate to a misleading 304. The audit record
+	// digests the exact bytes about to be served, under the same
+	// fingerprint + canonical params identity the ETag derives from.
+	s.appendAudit(ent.fingerprint, name, params.Canonical(), sc.expr, body)
+	writeValidator(w, etag)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -331,7 +403,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	m := requestMetrics(r)
+	m.Analysis = "report"
+	poolStart := time.Now()
 	ent, err := s.pool.get(sc)
+	m.EngineBuildNs = time.Since(poolStart).Nanoseconds()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -343,15 +419,24 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Render into a buffer so a mid-report analysis failure becomes a
-	// clean 500 instead of half a 200.
+	// clean 500 instead of half a 200. Rendering is compute and
+	// serialize in one pass; it counts as compute, the dominant cost.
+	computeStart := time.Now()
 	var buf bytes.Buffer
 	if err := ent.eng.WriteReport(&buf); err != nil {
+		m.ComputeNs = time.Since(computeStart).Nanoseconds()
 		if ent.eng.IngestionFailed() {
 			s.pool.drop(ent)
 		}
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	m.ComputeNs = time.Since(computeStart).Nanoseconds()
+	// The report is attributable output like any analysis: audit it
+	// under the reserved name "report" (the registry rejects no such
+	// analysis name collision — names are lowercase identifiers and
+	// "report" is not registered).
+	s.appendAudit(ent.fingerprint, "report", "", sc.expr, buf.Bytes())
 	writeValidator(w, etag)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -5,28 +5,47 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/obs"
 )
 
-// counters aggregates the serving metrics behind /v1/stats. All fields
-// are updated atomically from the request path.
+// counters holds the gate-owned serving metrics. Request, 304, and
+// error counts live in the server's obs.Collector (the same source the
+// /metrics exposition reads), so the two surfaces can never disagree.
 type counters struct {
-	requests    atomic.Int64
-	notModified atomic.Int64
-	errors      atomic.Int64 // responses with status >= 500
-	rejected    atomic.Int64 // 503s from the concurrency gate
-	inFlight    atomic.Int64
+	rejected atomic.Int64 // 503s from the concurrency gate
+	inFlight atomic.Int64
+}
+
+// AuditStats reports the audit log's state in /v1/stats.
+type AuditStats struct {
+	// Path of the chained log file.
+	Path string `json:"path"`
+	// Records chained over the process lifetime.
+	Records int64 `json:"records"`
 }
 
 // StatsSnapshot is one point-in-time reading of the serving metrics,
 // the /v1/stats response body.
+//
+// Self-count rule: a snapshot includes only requests that finished
+// before it was taken. The /v1/stats request that carries a snapshot is
+// still in flight while the snapshot is assembled, so it is never
+// included — two back-to-back /v1/stats calls with no other traffic
+// report Requests of N and N+1, not N+1 and N+2.
 type StatsSnapshot struct {
+	// StartedAt is the server construction time, RFC3339Nano UTC.
+	StartedAt string `json:"started_at"`
 	// UptimeSeconds since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	// Requests served (all endpoints, all statuses).
+	// Requests served (all endpoints, all statuses) — completed
+	// requests only, per the self-count rule above.
 	Requests int64 `json:"requests"`
 	// NotModified counts 304 responses — traffic served with zero
 	// recomputation.
 	NotModified int64 `json:"not_modified"`
+	// ClientErrors counts 4xx responses (bad filters, unknown analyses,
+	// rejected parameters).
+	ClientErrors int64 `json:"client_errors"`
 	// Errors counts 5xx responses.
 	Errors int64 `json:"errors"`
 	// RejectedBusy counts requests whose client gave up while waiting
@@ -45,20 +64,62 @@ type StatsSnapshot struct {
 	// Analyses is the registry size, read live so late registrations
 	// stay consistent with the /v1/analyses listing.
 	Analyses int `json:"analyses"`
+	// Stages breaks serving time down by lifecycle stage: queue wait
+	// and serialize observed per request, engine build / ingest /
+	// compute observed once per actual event. Bucketed percentiles are
+	// histogram estimates (±2× bucket resolution).
+	Stages []obs.StageSummary `json:"stages,omitempty"`
+	// AnalysisLatency is the end-to-end request latency per served
+	// analysis, same histogram estimates.
+	AnalysisLatency []obs.AnalysisSummary `json:"analysis_latency,omitempty"`
+	// Audit reports the hash-chained audit log, when enabled.
+	Audit *AuditStats `json:"audit,omitempty"`
 }
 
 // Stats returns a snapshot of the serving metrics.
 func (s *Server) Stats() StatsSnapshot {
-	return StatsSnapshot{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Requests:      s.counters.requests.Load(),
-		NotModified:   s.counters.notModified.Load(),
-		Errors:        s.counters.errors.Load(),
+	sum := s.metrics.Summarize()
+	snap := StatsSnapshot{
+		StartedAt:       s.started.UTC().Format(time.RFC3339Nano),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Requests:        s.metrics.Requests(),
+		NotModified:     s.metrics.NotModified(),
+		ClientErrors:    s.metrics.ClientErrors(),
+		Errors:          s.metrics.ServerErrors(),
+		RejectedBusy:    s.counters.rejected.Load(),
+		InFlight:        s.counters.inFlight.Load(),
+		PoolEngines:     s.pool.len(),
+		EngineBuilds:    s.pool.builds.Load(),
+		PoolEvictions:   s.pool.evictions.Load(),
+		Analyses:        len(analysis.Names()),
+		Stages:          sum.Stages,
+		AnalysisLatency: sum.Analyses,
+	}
+	if s.audit != nil {
+		snap.Audit = &AuditStats{Path: s.audit.Path(), Records: s.audit.Records()}
+	}
+	return snap
+}
+
+// gauges assembles the exposition's counter/gauge values from the same
+// sources Stats reads.
+func (s *Server) gauges() obs.ServerGauges {
+	g := obs.ServerGauges{
+		Requests:      s.metrics.Requests(),
+		NotModified:   s.metrics.NotModified(),
+		ClientErrors:  s.metrics.ClientErrors(),
+		ServerErrors:  s.metrics.ServerErrors(),
 		RejectedBusy:  s.counters.rejected.Load(),
 		InFlight:      s.counters.inFlight.Load(),
 		PoolEngines:   s.pool.len(),
 		EngineBuilds:  s.pool.builds.Load(),
 		PoolEvictions: s.pool.evictions.Load(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
 		Analyses:      len(analysis.Names()),
 	}
+	if s.audit != nil {
+		g.AuditEnabled = true
+		g.AuditRecords = s.audit.Records()
+	}
+	return g
 }
