@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/catalog"
@@ -59,8 +60,15 @@ func main() {
 		fmt.Printf("%-14s %-8s %41s score %.3f\n", "", "", "", wr.Score)
 	}
 	fmt.Println()
-	for d, s := range res.DomainScores {
-		fmt.Printf("domain %-8s score %.3f (weight %.0f%%)\n", d, s, 100*sert.DomainWeights[d])
+	// Sorted so the domain table prints in a stable order — DomainScores
+	// is a map, and iteration order must not reach the output.
+	domains := make([]sert.Domain, 0, len(res.DomainScores))
+	for d := range res.DomainScores {
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool { return domains[i] < domains[j] })
+	for _, d := range domains {
+		fmt.Printf("domain %-8s score %.3f (weight %.0f%%)\n", d, res.DomainScores[d], 100*sert.DomainWeights[d])
 	}
 	fmt.Printf("overall SERT efficiency score: %.3f\n", res.Overall)
 }

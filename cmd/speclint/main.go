@@ -9,6 +9,10 @@
 //
 //	speclint corpus/*.txt
 //	speclint -dir corpus/ [-quiet]
+//
+// -dir lists files through core.ListResultFiles — the exact listing
+// DirSource ingests (recursive, case-insensitive .txt match) — so the
+// linter's verdicts always cover the corpus the engine would analyze.
 package main
 
 import (
@@ -18,9 +22,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/parser"
 )
@@ -34,15 +38,15 @@ func main() {
 
 	paths := flag.Args()
 	if *dir != "" {
-		entries, err := os.ReadDir(*dir)
+		// The same listing DirSource ingests from: recursive,
+		// case-insensitive on the extension. Anything else and the
+		// linter's verdicts would cover a different corpus than the
+		// engine analyzes (top-level lowercase .txt only, once).
+		listed, err := core.ListResultFiles(*dir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, e := range entries {
-			if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
-				paths = append(paths, filepath.Join(*dir, e.Name()))
-			}
-		}
+		paths = append(paths, listed...)
 	}
 	if len(paths) == 0 {
 		log.Fatal("no input files (pass paths or -dir)")

@@ -116,6 +116,7 @@ func PaperTrends(comparable []*model.Run, alpha float64, workers int) ([]TrendAs
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow nodeterminism results and errors are slotted by spec index; completion order cannot reach the output
 		go func() {
 			defer wg.Done()
 			for i := range idx {

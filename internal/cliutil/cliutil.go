@@ -174,10 +174,18 @@ func (p ParamFlags) Requests(names []string) ([]core.Request, error) {
 		}
 		reqs[i].Params = params
 	}
+	var strays []string
 	for name := range p {
 		if !selected[name] {
-			return nil, fmt.Errorf("-p %s.*: analysis %q is not among the analyses being run", name, name)
+			strays = append(strays, name)
 		}
+	}
+	if len(strays) > 0 {
+		// Sorted so the error names the same stray assignment every run
+		// — map iteration order must not pick which mistake is blamed.
+		sort.Strings(strays)
+		return nil, fmt.Errorf("-p %s.*: analysis %q is not among the analyses being run",
+			strays[0], strings.Join(strays, ", "))
 	}
 	return reqs, nil
 }

@@ -53,7 +53,7 @@ func (s CachedSource) cachePath() string {
 
 // Each implements Source.
 func (s CachedSource) Each(workers int, yield func(*model.Run) error) error {
-	paths, err := listResultFiles(s.Dir)
+	paths, err := ListResultFiles(s.Dir)
 	if err != nil {
 		return err
 	}

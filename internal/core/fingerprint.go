@@ -80,7 +80,7 @@ func (s CachedSource) Fingerprint() (string, error) {
 }
 
 func dirFingerprint(dir string) (string, error) {
-	paths, err := listResultFiles(dir)
+	paths, err := ListResultFiles(dir)
 	if err != nil {
 		return "", err
 	}

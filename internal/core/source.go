@@ -84,12 +84,15 @@ type DirSource struct {
 // Name implements Source.
 func (s DirSource) Name() string { return "dir(" + s.Dir + ")" }
 
-// listResultFiles returns the sorted result-file paths under dir,
+// ListResultFiles returns the sorted result-file paths under dir,
 // recursing into subdirectories so sharded corpus layouts
 // (corpus/2023/….txt) work. The extension match is case-insensitive
 // (.txt, .TXT, …). Paths are sorted as full strings, so the stream
-// order is deterministic regardless of layout.
-func listResultFiles(dir string) ([]string, error) {
+// order is deterministic regardless of layout. Exported because it is
+// the single definition of "what counts as a result file": DirSource,
+// CachedSource, the fingerprinter, and the speclint data linter must
+// all see exactly the same corpus.
+func ListResultFiles(dir string) ([]string, error) {
 	var paths []string
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -125,7 +128,7 @@ func parseResultFile(path string) (*model.Run, error) {
 // file in sorted name order wins, regardless of which worker hit it
 // first.
 func (s DirSource) Each(workers int, yield func(*model.Run) error) error {
-	paths, err := listResultFiles(s.Dir)
+	paths, err := ListResultFiles(s.Dir)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowPrefix is the suppression directive. The full form is
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line or the line immediately above it. The
+// reason is not optional: a directive without one (or naming an
+// analyzer that does not exist) is itself a finding, so the gate can
+// never be waived silently.
+const allowPrefix = "//lint:allow"
+
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+// collectAllows scans every loaded file's comments for directives,
+// keyed by filename and line.
+func collectAllows(prog *Program) map[string]map[int][]*allowDirective {
+	byFile := map[string]map[int][]*allowDirective{}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					d := &allowDirective{pos: pos}
+					if len(fields) > 0 {
+						d.analyzer = fields[0]
+						d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+					}
+					lines := byFile[pos.Filename]
+					if lines == nil {
+						lines = map[int][]*allowDirective{}
+						byFile[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], d)
+				}
+			}
+		}
+	}
+	return byFile
+}
+
+// applyAllows marks diagnostics covered by a well-formed directive as
+// suppressed (in place) and returns the extra diagnostics the
+// directives themselves earn: a missing reason, an unknown analyzer
+// name, or a directive that matched nothing (stale waivers rot into
+// lies about what the code does, so they must go). Staleness is only
+// judged for analyzers in ran — a partial run cannot know whether the
+// others' directives still bite.
+func applyAllows(prog *Program, diags []Diagnostic, ran []*Analyzer) []Diagnostic {
+	byFile := collectAllows(prog)
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	inRun := map[string]bool{}
+	for _, a := range ran {
+		inRun[a.Name] = true
+	}
+	for i := range diags {
+		d := &diags[i]
+		lines := byFile[d.Pos.Filename]
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, dir := range lines[line] {
+				if dir.analyzer != d.Analyzer || dir.reason == "" {
+					continue
+				}
+				dir.used = true
+				d.Suppressed = true
+				d.Reason = dir.reason
+			}
+		}
+	}
+	// Directive diagnostics are collected from map iteration and sorted
+	// below — the suite holds itself to its own mapsort rule.
+	var extra []Diagnostic
+	for _, lines := range byFile {
+		for _, dirs := range lines {
+			for _, dir := range dirs {
+				switch {
+				case dir.analyzer == "" || dir.reason == "":
+					extra = append(extra, Diagnostic{
+						Analyzer: "allow", Pos: dir.pos,
+						Message: "lint:allow directive needs an analyzer name and a reason",
+					})
+				case !known[dir.analyzer]:
+					extra = append(extra, Diagnostic{
+						Analyzer: "allow", Pos: dir.pos,
+						Message: "lint:allow names unknown analyzer " + dir.analyzer,
+					})
+				case !dir.used && inRun[dir.analyzer]:
+					extra = append(extra, Diagnostic{
+						Analyzer: "allow", Pos: dir.pos,
+						Message: "stale lint:allow: no " + dir.analyzer + " finding here to suppress",
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool {
+		a, b := extra[i], extra[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return extra
+}

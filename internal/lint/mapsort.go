@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapSort enforces the repo's sort-before-emit discipline: Go map
+// iteration order is deliberately randomized, so a range over a map
+// whose keys or values feed an append or an fmt print must be followed
+// by a sort call later in the same function (the canonical pattern —
+// collect keys, sort, iterate sorted — passes; so does sorting the
+// appended slice before it is returned and marshaled). Ranges that
+// only fill other maps, increment counters, or write by index are
+// order-insensitive and pass.
+var MapSort = &Analyzer{
+	Name: "mapsort",
+	Doc:  "map iteration feeding output must be followed by a sort in the same function",
+	Run:  runMapSort,
+}
+
+func runMapSort(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkMapRanges(pass, n.Body)
+			case *ast.FuncLit:
+				checkMapRanges(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges scans one function body. Nested function literals are
+// excluded — they get their own visit, and their sort must live in
+// their own scope.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	var ranges []*ast.RangeStmt
+	var sortCalls []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, nested := n.(*ast.FuncLit); nested {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap && mapRangeFeedsOutput(info, n) {
+					ranges = append(ranges, n)
+				}
+			}
+		case *ast.CallExpr:
+			if isSortCall(funcObj(info, n)) {
+				sortCalls = append(sortCalls, n.Pos())
+			}
+		}
+		return true
+	})
+	for _, r := range ranges {
+		sorted := false
+		for _, p := range sortCalls {
+			if p > r.End() {
+				sorted = true
+				break
+			}
+		}
+		if !sorted {
+			pass.Reportf(r.Pos(),
+				"range over map feeds output (append or fmt print) but no sort follows in this function; map iteration order would reach the result")
+		}
+	}
+}
+
+// isSortCall recognizes the calls that restore a deterministic order:
+// the sort package's sorting entry points and slices.Sort*. Lookup
+// helpers that merely read order (sort.Search*, sort.*AreSorted,
+// slices.IsSorted*, slices.Contains, …) do not count.
+func isSortCall(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+		return false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "sort":
+		return !strings.HasPrefix(name, "Search") && !strings.Contains(name, "IsSorted") &&
+			!strings.Contains(name, "AreSorted")
+	case "slices":
+		return strings.HasPrefix(name, "Sort")
+	}
+	return false
+}
+
+// mapRangeFeedsOutput reports whether the range body appends or calls
+// an fmt print/format function — the channels through which iteration
+// order escapes into results. Nested literals inside the body count (a
+// closure appending to a captured slice leaks order the same way);
+// writes by key or index do not.
+func mapRangeFeedsOutput(info *types.Info, r *ast.RangeStmt) bool {
+	feeds := false
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !feeds
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" {
+				feeds = true
+			}
+		}
+		if fn := funcObj(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			feeds = true
+		}
+		return !feeds
+	})
+	return feeds
+}

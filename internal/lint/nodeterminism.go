@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoDeterminism enforces the serving contract that a registered
+// analysis is a pure function of (dataset, params): same corpus, same
+// canonical parameters, byte-identical output — the property the
+// engine memo, the HTTP ETags, and the audit chain all key on. It
+// walks every function reachable from a registered analysis func and
+// reports the constructs that break the contract:
+//
+//   - wall-clock reads (time.Now and friends): output would embed the
+//     serving moment;
+//   - the global math/rand source: process-wide, seedable by anyone,
+//     shared across goroutines — a seeded private rand.New(...) is the
+//     legitimate pattern and passes;
+//   - environment reads (os.Getenv and friends): parameters must flow
+//     through the typed schema, not ambient process state;
+//   - goroutine-ordering-sensitive constructs: go statements and
+//     multi-clause selects. Pools whose results are index-slotted (the
+//     repo's par.ForEach discipline) are deterministic by construction
+//     and carry a //lint:allow with that justification.
+var NoDeterminism = &Analyzer{
+	Name:    "nodeterminism",
+	Doc:     "registered analyses must be pure functions of (dataset, params)",
+	Program: true,
+	Run:     runNoDeterminism,
+}
+
+// bannedCalls maps package path → function name → what the diagnostic
+// should say. Only package-level functions are matched: methods on a
+// private *rand.Rand live in math/rand too, and those are exactly the
+// sanctioned alternative.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":      "reads the wall clock",
+		"Since":    "reads the wall clock",
+		"Until":    "reads the wall clock",
+		"After":    "depends on the wall clock",
+		"Tick":     "depends on the wall clock",
+		"NewTimer": "depends on the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+		"Environ":   "reads the process environment",
+	},
+}
+
+// randConstructors are the math/rand package-level funcs that build a
+// private generator rather than touching the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNoDeterminism(pass *Pass) {
+	for _, body := range pass.Prog.Reachable() {
+		info := body.pkg.Info
+		where := body.name
+		ast.Inspect(body.node, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkBannedCall(pass, info, n, where)
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"%s starts a goroutine; completion order must not reach the output (index-slot results and annotate, or compute serially)",
+					where)
+			case *ast.SelectStmt:
+				if len(n.Body.List) > 1 {
+					pass.Reportf(n.Pos(),
+						"%s selects over multiple cases; the runtime picks ready cases pseudo-randomly",
+						where)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkBannedCall(pass *Pass, info *types.Info, call *ast.CallExpr, where string) {
+	fn := funcObj(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if why, ok := bannedCalls[path][fn.Name()]; ok {
+		pass.Reportf(call.Pos(), "%s %s via %s.%s; a registered analysis must be a pure function of (dataset, params)",
+			where, why, path, fn.Name())
+		return
+	}
+	if (path == "math/rand" || path == "math/rand/v2") && !randConstructors[fn.Name()] {
+		pass.Reportf(call.Pos(), "%s draws from the global %s source via %s; use a seeded private rand.New(rand.NewSource(seed))",
+			where, path, fn.Name())
+	}
+}

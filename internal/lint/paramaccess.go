@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ParamAccess enforces the typed-parameter contract inside registered
+// analyses: a knob's type lives in its schema declaration (Kind,
+// Default, Validate), and the analysis reads the resolved value
+// through the matching typed getter. Re-parsing a getter's string —
+// strconv over p.Str(...), strings.Split of a list smuggled through a
+// string param — recreates exactly the raw-string handling the schema
+// exists to centralize: the 400 boundary stops seeing bad values, the
+// canonical identity stops normalizing them, and two spellings of one
+// request stop sharing a memo entry. The fix is always a schema
+// change (KindInt, KindStringList, an Enum), never an allow.
+var ParamAccess = &Analyzer{
+	Name:    "paramaccess",
+	Doc:     "registered analyses read Params via typed getters, never by re-parsing strings",
+	Program: true,
+	Run:     runParamAccess,
+}
+
+// stringGetters are the Params methods whose results must not be
+// re-parsed.
+var stringGetters = map[string]bool{"Str": true, "Strings": true, "Canonical": true}
+
+// reparsers maps package path → function names that turn a string back
+// into structure.
+var reparsers = map[string]map[string]bool{
+	"strconv": {
+		"Atoi": true, "ParseInt": true, "ParseUint": true,
+		"ParseFloat": true, "ParseBool": true,
+	},
+	"strings": {
+		"Split": true, "SplitN": true, "SplitAfter": true,
+		"Fields": true, "FieldsFunc": true, "Cut": true,
+	},
+}
+
+func runParamAccess(pass *Pass) {
+	for _, body := range pass.Prog.Reachable() {
+		checkParamReparse(pass, body)
+	}
+}
+
+func checkParamReparse(pass *Pass, body reachBody) {
+	info := body.pkg.Info
+
+	// First pass: taint local variables assigned from a Params string
+	// getter, so `s := p.Str("algo"); strings.Split(s, ",")` is caught
+	// as well as the directly nested form.
+	tainted := map[types.Object]string{} // object → getter that produced it
+	ast.Inspect(body.node, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if getter := paramsStringGetter(info, rhs); getter != "" {
+				if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						tainted[obj] = getter
+					} else if obj := info.Uses[id]; obj != nil {
+						tainted[obj] = getter
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body.node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(info, call)
+		if fn == nil || fn.Pkg() == nil || !reparsers[fn.Pkg().Path()][fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			getter := paramsStringGetter(info, arg)
+			if getter == "" {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					getter = tainted[info.Uses[id]]
+				}
+			}
+			if getter != "" {
+				pass.Reportf(call.Pos(),
+					"%s re-parses Params.%s with %s.%s; declare the parameter with the right Kind and read it through its typed getter",
+					body.name, getter, fn.Pkg().Path(), fn.Name())
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// paramsStringGetter reports which string-valued Params getter the
+// expression is a direct call of ("" if none).
+func paramsStringGetter(info *types.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !stringGetters[sel.Sel.Name] {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != registryPath {
+		return ""
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return ""
+	}
+	if named, ok := recv.Type().(*types.Named); !ok || named.Obj().Name() != "Params" {
+		return ""
+	}
+	return sel.Sel.Name
+}

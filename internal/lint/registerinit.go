@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RegisterInit enforces the registry lifecycle: analysis.Register,
+// RegisterParams, and RegisterStatic may only be called from an init
+// function or a package-level var initializer. Engines snapshot the
+// registry when they are built, CLIs list it at startup, and the HTTP
+// listing's ETag covers it — a registration that lands later (from a
+// handler, a sync.Once, a test helper in shipped code) would make
+// "which analyses exist" depend on request order.
+var RegisterInit = &Analyzer{
+	Name: "registerinit",
+	Doc:  "analysis.Register* only from init or a package-level var initializer",
+	Run:  runRegisterInit,
+}
+
+func runRegisterInit(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				ok := decl.Recv == nil && decl.Name.Name == "init"
+				findRegisterCalls(pass, decl.Body, ok, describeFunc(decl))
+			case *ast.GenDecl:
+				// Package-level var (and const) initializer expressions
+				// run during package init — as valid a home as init
+				// itself.
+				findRegisterCalls(pass, decl, true, "")
+			}
+		}
+	}
+}
+
+func describeFunc(decl *ast.FuncDecl) string {
+	if decl.Recv != nil {
+		return "method " + decl.Name.Name
+	}
+	return "function " + decl.Name.Name
+}
+
+// findRegisterCalls walks one declaration. Inside an init body every
+// call is fine; anywhere else each Register* call is reported. A
+// function literal nested in a valid context is still valid only if it
+// runs during initialization — we cannot know, so literals inside init
+// are accepted (they overwhelmingly are immediate helpers) while
+// literals inside ordinary functions inherit the violation.
+func findRegisterCalls(pass *Pass, root ast.Node, allowed bool, where string) {
+	if root == nil || allowed {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(pass.Pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != registryPath ||
+			!registerFuncs[fn.Name()] {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"analysis.%s called from %s; registrations must happen in init or a package-level var initializer so the registry is complete before any engine exists",
+			fn.Name(), where)
+		return true
+	})
+}

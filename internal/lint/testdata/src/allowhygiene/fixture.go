@@ -1,0 +1,33 @@
+// Package fixture exercises the //lint:allow hygiene rules: a
+// directive with a reason suppresses its finding, a bare directive is
+// a finding itself, and a directive with nothing to suppress is stale.
+package fixture
+
+import "fmt"
+
+// suppressed: the finding is real but justified, so no want here for
+// mapsort — the directive absorbs it.
+func suppressed(m map[string]int) {
+	//lint:allow mapsort output feeds a set comparison downstream; order is irrelevant there
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// bare directives must carry an analyzer and a reason.
+func bare(m map[string]int) {
+	//lint:allow mapsort
+	for k := range m { // stays unsuppressed: no reason given
+		fmt.Println(k)
+	}
+}
+
+// stale: nothing on this line for mapsort to suppress.
+func stale(m map[string]int) int {
+	//lint:allow mapsort nothing here actually needs this
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

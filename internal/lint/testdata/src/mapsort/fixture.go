@@ -1,0 +1,87 @@
+// Package fixture exercises the mapsort analyzer: map ranges that leak
+// iteration order into output, next to the sorted and order-insensitive
+// patterns that must pass.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// badPrint prints straight out of map order.
+func badPrint(m map[string]int) {
+	for k, v := range m { // want "range over map feeds output"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// badAppend returns a slice whose order is map order.
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map feeds output"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// badClosure leaks order through a closure appending to a captured
+// slice from inside the range body.
+func badClosure(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // want "range over map feeds output"
+		func() { vals = append(vals, v) }()
+	}
+	return vals
+}
+
+// goodSortedKeys is the canonical pattern: collect, sort, iterate.
+func goodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodCounter only aggregates; order cannot matter.
+func goodCounter(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodIndexed writes by key-derived index, which lands each value in
+// the same slot regardless of iteration order.
+func goodIndexed(m map[int]string, k int) []string {
+	out := make([]string, k)
+	for i, v := range m {
+		out[i] = v
+	}
+	return out
+}
+
+// goodMapCopy fills another map; maps have no order to corrupt.
+func goodMapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// nestedScope pins the scoping rule: the sort inside the literal does
+// not absolve the outer function's unsorted range, and vice versa.
+func nestedScope(m map[string]int) []string {
+	_ = func(in []string) []string {
+		sort.Strings(in)
+		return in
+	}
+	var keys []string
+	for k := range m { // want "range over map feeds output"
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,64 @@
+// Package fixture exercises the paramaccess analyzer: registered
+// analyses that re-parse a Params string getter's result, next to the
+// typed-getter reads and the legitimate Canonical-as-memo-key use.
+package fixture
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func schema() analysis.Schema {
+	return analysis.Schema{
+		{Name: "k", Kind: analysis.KindInt, Default: 3},
+		{Name: "mode", Kind: analysis.KindString, Default: "plain"},
+		{Name: "features", Kind: analysis.KindStringList},
+	}
+}
+
+func init() {
+	analysis.RegisterParams("pa-atoi", "int smuggled through a string", schema(), reparseInt)
+	analysis.RegisterParams("pa-split", "list smuggled through a string", schema(), reparseList)
+	analysis.RegisterParams("pa-local", "re-parse via a local", schema(), reparseLocal)
+	analysis.RegisterParams("pa-good", "typed getters", schema(), typedReads)
+	analysis.RegisterParams("pa-memo", "canonical as memo key", schema(), memoKey)
+}
+
+func reparseInt(ds *analysis.Dataset, p analysis.Params) (any, error) {
+	return strconv.Atoi(p.Str("mode")) // want "re-parses Params.Str"
+}
+
+func reparseList(ds *analysis.Dataset, p analysis.Params) (any, error) {
+	return strings.Split(p.Str("mode"), ","), nil // want "re-parses Params.Str"
+}
+
+func reparseLocal(ds *analysis.Dataset, p analysis.Params) (any, error) {
+	mode := p.Str("mode")
+	f, err := strconv.ParseFloat(mode, 64) // want "re-parses Params.Str"
+	return f, err
+}
+
+// typedReads is the contract: every knob through its declared getter.
+func typedReads(ds *analysis.Dataset, p analysis.Params) (any, error) {
+	n := p.Int("k")
+	if p.Str("mode") == "loud" {
+		n *= 2
+	}
+	return n + len(p.Strings("features")), nil
+}
+
+var memoCache = map[string]any{}
+
+// memoKey uses Canonical as an opaque identity — the legitimate
+// non-getter read. Only re-parsing it would be flagged.
+func memoKey(ds *analysis.Dataset, p analysis.Params) (any, error) {
+	key := p.Canonical()
+	if v, ok := memoCache[key]; ok {
+		return v, nil
+	}
+	v := p.Int("k") * 2
+	memoCache[key] = v
+	return v, nil
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises the registerinit analyzer: registrations
+// from init and from a package-level var initializer pass; a
+// registration reachable only at call time is exactly the
+// incomplete-registry hazard the analyzer exists to stop.
+package fixture
+
+import (
+	"repro/internal/analysis"
+)
+
+func init() {
+	analysis.Register("ri-init", "registered from init", identity)
+}
+
+// Package-level var initializers run during package init; the IIFE
+// form is the sanctioned way to register where no init func fits.
+var _ = func() bool {
+	analysis.RegisterStatic("ri-var", "registered from a var initializer",
+		func() (any, error) { return 1, nil })
+	return true
+}()
+
+func identity(ds *analysis.Dataset) (any, error) { return ds, nil }
+
+// lateRegister would add a registry entry whenever somebody happens to
+// call it — after engines snapshot the registry, after listings are
+// served.
+func lateRegister() {
+	analysis.Register("ri-late", "registered at call time", identity) // want "registrations must happen in init"
+}
+
+type server struct{}
+
+// register as a method is the same hazard.
+func (server) register() {
+	analysis.RegisterParams("ri-method", "registered from a method", // want "registrations must happen in init"
+		analysis.Schema{{Name: "k", Kind: analysis.KindInt, Default: 1}},
+		func(ds *analysis.Dataset, p analysis.Params) (any, error) { return p.Int("k"), nil },
+	)
+}

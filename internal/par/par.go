@@ -54,6 +54,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow nodeterminism the pool reports the lowest failing index, not the race winner; callers slot results by index
 		go func() {
 			defer wg.Done()
 			for i := range idx {

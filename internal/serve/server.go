@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"sort"
 	"time"
 
 	"repro/internal/analysis"
@@ -390,13 +391,19 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	// The report renders fixed sections with default parameters, so any
 	// key but filter is a mistake — a typo'd ?filtre= must not silently
 	// serve the unfiltered corpus (the same refusal specanalyze gives
-	// -p without -only/-json).
+	// -p without -only/-json). Unknown keys are sorted so the echoed
+	// 400 body is deterministic regardless of map iteration order.
+	var unknown []string
 	for key := range q {
 		if key != "filter" {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf(
-				"report takes no parameters: unknown query key %q (only filter)", key))
-			return
+			unknown = append(unknown, key)
 		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			"report takes no parameters: unknown query key %q (only filter)", unknown[0]))
+		return
 	}
 	sc, err := parseScope(q.Get("filter"))
 	if err != nil {
