@@ -615,10 +615,13 @@ func BenchmarkCachedIngest(b *testing.B) {
 // warm-scope hits a resident scope engine, so the request is a memo
 // read plus JSON encoding (≥10× faster than cold); warm-etag-304
 // revalidates with If-None-Match and transfers nothing at all.
+// warm-scope runs with tracing explicitly off so the traced variant
+// below measures the overhead against a clean baseline.
 func BenchmarkServeAnalysis(b *testing.B) {
 	newServer := func() *serve.Server {
 		return serve.New(serve.Config{
-			Base: core.SynthSource{Options: synth.DefaultOptions()},
+			Base:            core.SynthSource{Options: synth.DefaultOptions()},
+			TraceBufferSize: -1,
 		})
 	}
 	request := func(b *testing.B, srv *serve.Server, etag string) *httptest.ResponseRecorder {
@@ -664,6 +667,25 @@ func BenchmarkServeAnalysis(b *testing.B) {
 			}
 		}
 	})
+	// warm-scope-traced bounds the tracing hot path: the same warm
+	// request with the default trace ring on, so every 200 builds a span
+	// tree (root, queue_wait, build, serialize — warm requests skip
+	// ingest and compute) and publishes it to the ring. The acceptance
+	// criteria cap the delta over warm-scope at 5%.
+	b.Run("warm-scope-traced", func(b *testing.B) {
+		srv := serve.New(serve.Config{
+			Base: core.SynthSource{Options: synth.DefaultOptions()},
+		})
+		if rec := request(b, srv, ""); rec.Code != http.StatusOK {
+			b.Fatalf("priming status %d", rec.Code)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec := request(b, srv, ""); rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
 	// warm-scope-audit bounds the audit hot path: the same warm request
 	// with every 200 appending a hash-chained record. The append is a
 	// channel send — batching and file I/O happen on the writer goroutine
@@ -675,8 +697,9 @@ func BenchmarkServeAnalysis(b *testing.B) {
 			b.Fatal(err)
 		}
 		srv := serve.New(serve.Config{
-			Base:  core.SynthSource{Options: synth.DefaultOptions()},
-			Audit: audit,
+			Base:            core.SynthSource{Options: synth.DefaultOptions()},
+			Audit:           audit,
+			TraceBufferSize: -1, // isolate the audit delta from the trace delta
 		})
 		if rec := request(b, srv, ""); rec.Code != http.StatusOK {
 			b.Fatalf("priming status %d", rec.Code)

@@ -6,6 +6,11 @@
 //	specaudit head audit.log      print the chain head hash — store it
 //	                              externally as a truncation anchor
 //
+// head prints "<records> <hash>", plus the head record's trace id as a
+// third column when the log carries one (logs written before trace
+// support, or with tracing disabled, print the original two columns
+// unchanged).
+//
 // verify proves internal consistency: sequential positions, each
 // record's prev matching its predecessor's hash, each hash matching the
 // recomputed record contents. Any mutated byte, inserted, removed, or
@@ -63,8 +68,19 @@ func main() {
 		if verr != nil {
 			log.Fatalf("FAIL %s: %v", path, verr)
 		}
-		fmt.Printf("%d %s\n", res.Records, res.HeadHash)
+		fmt.Println(headLine(res))
 	default:
 		usage()
 	}
+}
+
+// headLine renders the head command's output line. The trace id column
+// appears only when the head record has one, so anchors stored from
+// pre-trace logs remain byte-identical.
+func headLine(res obs.VerifyResult) string {
+	line := fmt.Sprintf("%d %s", res.Records, res.HeadHash)
+	if res.HeadTraceID != "" {
+		line += " " + res.HeadTraceID
+	}
+	return line
 }

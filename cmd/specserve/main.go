@@ -8,6 +8,8 @@
 //	GET /v1/analyses/{name}?filter=   one analysis over a corpus slice
 //	GET /v1/report?filter=            the full text report
 //	GET /v1/stats                     serving metrics (JSON, stage/analysis latency breakdowns)
+//	GET /v1/traces                    recent request traces (?n= count, ?min_ms= slow filter)
+//	GET /debug/pprof/                 runtime profiles (-pprof only, loopback clients only)
 //
 // Each distinct ?filter= scope gets its own lazily built, memoized
 // engine from an LRU-bounded pool (single-flight construction, shared
@@ -26,11 +28,19 @@
 // bytes — to FILE via a batching writer that never blocks the request
 // path on I/O. Verify the chain with `specaudit verify FILE`.
 //
+// Every request is traced by default: the server keeps the most recent
+// completed span trees in a bounded in-memory ring (-trace-buf, 0
+// disables) served by GET /v1/traces, echoes a W3C Traceparent response
+// header (adopting an inbound one), and with -trace-slow D logs one
+// line per request slower than D carrying its trace id. -pprof
+// additionally mounts net/http/pprof for loopback clients.
+//
 // Usage:
 //
 //	specserve [-addr :8080] [-in corpus/]... [-cache] [-workers 8]
 //	          [-filter expr] [-pool 32] [-max-inflight 64] [-warm]
-//	          [-audit audit.log]
+//	          [-audit audit.log] [-trace-buf 256] [-trace-slow 500ms]
+//	          [-pprof]
 //
 // The server drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM; the audit log is flushed and closed as part of the drain.
@@ -60,6 +70,9 @@ func main() {
 	inflight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "max concurrently served requests")
 	warm := flag.Bool("warm", false, "ingest the whole-corpus scope before accepting traffic")
 	auditPath := flag.String("audit", "", "append hash-chained audit records to this file (verify with specaudit)")
+	traceBuf := flag.Int("trace-buf", serve.DefaultTraceBuffer, "completed request traces kept for /v1/traces (0 disables tracing)")
+	traceSlow := flag.Duration("trace-slow", 0, "log requests slower than this duration with their trace id (0 disables)")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof for loopback clients")
 	corpus := cliutil.RegisterCorpusFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -78,13 +91,23 @@ func main() {
 		}
 		log.Printf("auditing to %s (%d existing records)", *auditPath, audit.Records())
 	}
+	// The flag's 0-disables convention is friendlier than the Config's
+	// negative sentinel (0 keeps the zero-valued Config meaning "default
+	// ring" for library users).
+	bufSize := *traceBuf
+	if bufSize <= 0 {
+		bufSize = -1
+	}
 	srv := serve.New(serve.Config{
-		Base:        src,
-		Workers:     corpus.Workers,
-		PoolSize:    *pool,
-		MaxInFlight: *inflight,
-		Logf:        log.Printf,
-		Audit:       audit,
+		Base:            src,
+		Workers:         corpus.Workers,
+		PoolSize:        *pool,
+		MaxInFlight:     *inflight,
+		Logf:            log.Printf,
+		Audit:           audit,
+		TraceBufferSize: bufSize,
+		SlowTrace:       *traceSlow,
+		Pprof:           *pprofOn,
 	})
 	if *warm {
 		log.Printf("warming corpus %s", src.Name())

@@ -66,5 +66,8 @@ func (b *DatasetBuilder) Funnel() Funnel {
 // same underlying dataset; call Dataset again for a fresh snapshot.
 func (b *DatasetBuilder) Dataset() *Dataset {
 	b.ds.Funnel = b.Funnel()
+	if b.ds.id == nil {
+		b.ds.id = new(datasetID)
+	}
 	return &b.ds
 }

@@ -40,6 +40,37 @@ func (f Funnel) String() string {
 	return b.String()
 }
 
+// KernelEvent is one progress event emitted by a compute kernel — a
+// k-means Lloyd iteration, a HAC merge batch — while an analysis
+// computes. Events carry deterministic facts about the computation
+// (counts, indices, distances), never timings: the kernel's output must
+// stay a pure function of (dataset, params), so any clock reads happen
+// in the observer that receives the event, outside the registered
+// analysis's call graph.
+type KernelEvent struct {
+	// Kernel names the emitting kernel ("kmeans", "hac").
+	Kernel string
+	// Event names the step kind ("iteration", "merge-batch").
+	Event string
+	// Index is the 1-based step number within the kernel run.
+	Index int
+	// Moved counts the labels reassigned this step (k-means).
+	Moved int
+	// Merges counts the dendrogram merges in this batch (HAC).
+	Merges int
+	// MaxDist is the largest merge distance in this batch (HAC).
+	MaxDist float64
+	// Converged reports whether the kernel stabilized at this step
+	// (k-means: no label moved).
+	Converged bool
+}
+
+// KernelObserver receives kernel progress events. Implementations must
+// be safe for concurrent use (kernels may run under a worker pool) and
+// must not influence the computation — observers are for tracing and
+// metrics, and the determinism contract holds with or without one.
+type KernelObserver func(KernelEvent)
+
 // Dataset holds the corpus at each pipeline stage.
 type Dataset struct {
 	// Raw is every run handed in.
@@ -56,6 +87,40 @@ type Dataset struct {
 	// worker option, so a caller capping the engine caps the analyses
 	// too.
 	Workers int
+	// Kernel, when non-nil, receives kernel progress events from
+	// analyses computed over this dataset. The engine threads a
+	// per-request observer in via WithKernel; analyses only ever invoke
+	// the callback (a dynamic call), keeping their own call graphs free
+	// of clocks and I/O.
+	Kernel KernelObserver
+
+	// id anchors the dataset's cache identity across the shallow copies
+	// WithKernel makes; see CacheKey.
+	id *datasetID
+}
+
+type datasetID struct{ _ byte }
+
+// CacheKey returns an opaque comparable identity for dataset-keyed
+// caches: every WithKernel copy of a builder-produced dataset shares
+// its original's key, so attaching an observer never splits a cache. A
+// dataset constructed literally (tests, ad-hoc callers) has no id and
+// is its own key.
+func (d *Dataset) CacheKey() any {
+	if d.id == nil {
+		return d
+	}
+	return d.id
+}
+
+// WithKernel returns a shallow copy of the dataset with the kernel
+// observer attached — same corpus slices, same cache identity. The
+// receiver is never mutated: datasets are shared across concurrent
+// analyses, and the observer is per-request state.
+func (d *Dataset) WithKernel(obs KernelObserver) *Dataset {
+	c := *d
+	c.Kernel = obs
+	return &c
 }
 
 // BuildDataset classifies every run and splits the corpus into the

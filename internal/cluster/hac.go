@@ -58,7 +58,18 @@ type HACOptions struct {
 	Cut float64
 	// Workers bounds the parallel distance-matrix build (0 = GOMAXPROCS).
 	Workers int
+	// OnMergeBatch, when non-nil, is called after every mergeBatchSize
+	// dendrogram merges (and once for the remainder) with the 1-based
+	// batch number, the merges in the batch, and the largest merge
+	// distance seen in it. Purely observational, like
+	// KMeansOptions.OnIteration.
+	OnMergeBatch func(batch, merges int, maxDist float64)
 }
+
+// mergeBatchSize is the OnMergeBatch granularity: coarse enough that a
+// 676-row dendrogram reports ~20 events instead of ~675, fine enough
+// that a trace still shows where the merge loop spends its time.
+const mergeBatchSize = 32
 
 // Merge is one dendrogram step: clusters represented by rows A and B
 // (A < B, each the smallest row index of its cluster) merged at the
@@ -141,6 +152,18 @@ func HAC(m *Matrix, opt HACOptions) (*HACResult, error) {
 	if opt.Cut > 0 {
 		targetK = 1
 	}
+	// Batch accounting for OnMergeBatch; all zero-cost when unset.
+	var batches, pending int
+	var batchMax float64
+	flushBatch := func() {
+		if pending == 0 || opt.OnMergeBatch == nil {
+			pending, batchMax = 0, 0
+			return
+		}
+		batches++
+		opt.OnMergeBatch(batches, pending, batchMax)
+		pending, batchMax = 0, 0
+	}
 	for clusters > targetK {
 		// The globally closest pair, ties to the lowest representative.
 		best := -1
@@ -187,6 +210,11 @@ func HAC(m *Matrix, opt HACOptions) (*HACResult, error) {
 		members[i] = append(members[i], members[j]...)
 		res.Merges = append(res.Merges, Merge{A: i, B: j, Dist: d, Size: size[i]})
 		clusters--
+		pending++
+		batchMax = max(batchMax, d)
+		if pending == mergeBatchSize {
+			flushBatch()
+		}
 		// Refresh the nearest cache: i's own partner always, and any
 		// cluster whose cached partner was i or j (their distance to i
 		// changed, and j is gone); everyone else can only have gotten
@@ -203,6 +231,7 @@ func HAC(m *Matrix, opt HACOptions) (*HACResult, error) {
 			}
 		}
 	}
+	flushBatch()
 
 	// Label clusters by ascending representative (= smallest member) so
 	// numbering is reproducible.

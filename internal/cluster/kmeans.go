@@ -21,6 +21,12 @@ type KMeansOptions struct {
 	MaxIter int
 	// Workers bounds the parallel assignment step (0 = GOMAXPROCS).
 	Workers int
+	// OnIteration, when non-nil, is called after each Lloyd round with
+	// the 1-based iteration number, how many labels moved, and whether
+	// the partition converged on this round. Purely observational: the
+	// computation is identical with or without it, and it must not
+	// mutate anything the kernel reads.
+	OnIteration func(iter, moved int, converged bool)
 }
 
 // KMeansResult is one converged (or iteration-capped) partition.
@@ -66,6 +72,9 @@ func KMeans(m *Matrix, opt KMeansOptions) (*KMeansResult, error) {
 		res.Iterations++
 		changed := assignRows(m.Rows, cents, labels, dist2, opt.Workers)
 		changed += reseedEmpty(m.Rows, cents, labels, dist2, opt.K)
+		if opt.OnIteration != nil {
+			opt.OnIteration(res.Iterations, changed, changed == 0)
+		}
 		if changed == 0 {
 			res.Converged = true
 			break

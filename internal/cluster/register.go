@@ -182,16 +182,20 @@ type memoRing[T any] struct {
 }
 
 type memoEntry[T any] struct {
-	ds  *analysis.Dataset
+	// ds is the dataset's CacheKey, not the pointer itself: the engine
+	// hands traced requests a shallow WithKernel copy, and both copies
+	// must hit the same entry.
+	ds  any
 	key string
 	val T
 }
 
 func (r *memoRing[T]) get(ds *analysis.Dataset, key string) (T, bool) {
+	id := ds.CacheKey()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, e := range r.entries {
-		if e.ds == ds && e.key == key {
+		if e.ds == id && e.key == key {
 			return e.val, true
 		}
 	}
@@ -201,7 +205,7 @@ func (r *memoRing[T]) get(ds *analysis.Dataset, key string) (T, bool) {
 
 func (r *memoRing[T]) put(ds *analysis.Dataset, key string, val T) {
 	r.mu.Lock()
-	r.entries[r.next] = memoEntry[T]{ds: ds, key: key, val: val}
+	r.entries[r.next] = memoEntry[T]{ds: ds.CacheKey(), key: key, val: val}
 	r.next = (r.next + 1) % len(r.entries)
 	r.mu.Unlock()
 }
@@ -254,6 +258,34 @@ func sweepFor(ds *analysis.Dataset, m *Matrix, kmin, kmax int, seed int64, worke
 
 const algoKMeans = "kmeans++"
 
+// kmeansObserver adapts the dataset's kernel observer to the k-means
+// per-iteration callback; nil when the dataset is unobserved. The
+// adapter only forwards deterministic counts through a dynamic call —
+// no clocks, no I/O — so registered analyses stay determinism-clean.
+func kmeansObserver(ds *analysis.Dataset) func(iter, moved int, converged bool) {
+	obs := ds.Kernel
+	if obs == nil {
+		return nil
+	}
+	return func(iter, moved int, converged bool) {
+		obs(analysis.KernelEvent{Kernel: "kmeans", Event: "iteration",
+			Index: iter, Moved: moved, Converged: converged})
+	}
+}
+
+// hacObserver is kmeansObserver's HAC sibling, forwarding merge-batch
+// events.
+func hacObserver(ds *analysis.Dataset) func(batch, merges int, maxDist float64) {
+	obs := ds.Kernel
+	if obs == nil {
+		return nil
+	}
+	return func(batch, merges int, maxDist float64) {
+		obs(analysis.KernelEvent{Kernel: "hac", Event: "merge-batch",
+			Index: batch, Merges: merges, MaxDist: maxDist})
+	}
+}
+
 func computePartition(ds *analysis.Dataset, p analysis.Params) (*partition, error) {
 	m, err := Extract(ds.Comparable, Options{Features: p.Strings("features")})
 	if err != nil {
@@ -290,7 +322,8 @@ func computePartition(ds *analysis.Dataset, p analysis.Params) (*partition, erro
 				return nil, err
 			}
 			k = AutoK(sweep)
-			res, err := KMeans(m, KMeansOptions{K: k, Seed: seed, Workers: workers})
+			res, err := KMeans(m, KMeansOptions{K: k, Seed: seed, Workers: workers,
+				OnIteration: kmeansObserver(ds)})
 			if err != nil {
 				return nil, err
 			}
@@ -304,7 +337,8 @@ func computePartition(ds *analysis.Dataset, p analysis.Params) (*partition, erro
 			}
 			return part, nil
 		}
-		res, err := KMeans(m, KMeansOptions{K: k, Seed: seed, Workers: workers})
+		res, err := KMeans(m, KMeansOptions{K: k, Seed: seed, Workers: workers,
+			OnIteration: kmeansObserver(ds)})
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +354,8 @@ func computePartition(ds *analysis.Dataset, p analysis.Params) (*partition, erro
 		if err != nil {
 			return nil, err // unreachable: the enum admits only valid spellings
 		}
-		res, err := HAC(m, HACOptions{Linkage: lk, K: k, Cut: cut, Workers: workers})
+		res, err := HAC(m, HACOptions{Linkage: lk, K: k, Cut: cut, Workers: workers,
+			OnMergeBatch: hacObserver(ds)})
 		if err != nil {
 			return nil, err
 		}

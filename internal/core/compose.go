@@ -70,6 +70,43 @@ func (s MergeSource) Each(workers int, yield func(*model.Run) error) error {
 	return nil
 }
 
+// Parted is implemented by composite sources that decompose into
+// sequential parts whose concatenated streams equal their own. Tracing
+// uses it to give a merged corpus per-source ingest sub-spans without
+// changing what is streamed.
+type Parted interface {
+	// SourceParts returns the parts in drain order, or nil when the
+	// source does not decompose.
+	SourceParts() []Source
+}
+
+// SourceParts implements Parted: the merge's elements, in drain order.
+func (s MergeSource) SourceParts() []Source { return []Source(s) }
+
+// SourceParts implements Parted: the inner source's parts, each wrapped
+// in the same filter, so filter(merge(a, b)) decomposes into
+// filter(a), filter(b).
+func (s FilterSource) SourceParts() []Source {
+	inner, ok := s.Inner.(Parted)
+	if !ok {
+		return nil
+	}
+	ps := inner.SourceParts()
+	out := make([]Source, len(ps))
+	for i, p := range ps {
+		out[i] = FilterSource{Inner: p, Keep: s.Keep, Desc: s.Desc}
+	}
+	return out
+}
+
+// sourceParts returns src's sequential decomposition, or nil.
+func sourceParts(src Source) []Source {
+	if p, ok := src.(Parted); ok {
+		return p.SourceParts()
+	}
+	return nil
+}
+
 // ParseFilter compiles a corpus-slice expression into a run predicate
 // for FilterSource. An expression is a comma-separated list of clauses,
 // all of which must hold (AND); within a clause, "|" separates

@@ -106,6 +106,53 @@ func WithObserver(o Observer) Option {
 	return func(e *Engine) { e.obs = o }
 }
 
+// TraceHooks threads one request's trace through the engine. Where
+// Observer aggregates per-engine (every event, whoever caused it),
+// TraceHooks attribute per-request: each callback fires only on the
+// request whose computation actually did the work — the sync.Once
+// winner for ingestion, the memo-miss request for compute — so a trace
+// shows what its request paid for, never work it merely waited on.
+// Callbacks receive explicit timestamps; the hook layer owning the span
+// tree must not re-read the clock. All fields are optional.
+type TraceHooks struct {
+	// Ingest fires after corpus ingestion completes, on the request
+	// that streamed it.
+	Ingest func(tr IngestTrace)
+	// Compute fires after an analysis function returns, on the request
+	// that computed it (memo hits are silent).
+	Compute func(tr ComputeTrace)
+	// Kernel receives kernel progress events (per k-means Lloyd
+	// iteration, per HAC merge batch) from analyses this request
+	// computed. The engine attaches it to the dataset via
+	// analysis.Dataset.WithKernel; it must be safe for concurrent use.
+	Kernel analysis.KernelObserver
+}
+
+// IngestPart is one source's share of a merged corpus ingestion.
+type IngestPart struct {
+	Source     string
+	Start, End time.Time
+	Runs       int
+}
+
+// IngestTrace describes one completed corpus ingestion.
+type IngestTrace struct {
+	Source     string
+	Start, End time.Time
+	Runs       int
+	Err        error
+	// Parts holds per-source boundaries when the source decomposes
+	// (see Parted); empty for single sources.
+	Parts []IngestPart
+}
+
+// ComputeTrace describes one executed analysis function.
+type ComputeTrace struct {
+	Name, Params string
+	Start, End   time.Time
+	Err          error
+}
+
 // WithSeed selects the synthetic corpus with the given generation seed;
 // shorthand for WithSource(SynthSource{…}) when only the seed varies.
 func WithSeed(seed int64) Option {
@@ -135,18 +182,30 @@ func New(opts ...Option) *Engine {
 // analysis.DatasetBuilder), so for streaming sources ingestion overlaps
 // with parsing.
 func (e *Engine) Dataset() (*analysis.Dataset, error) {
+	return e.dataset(nil)
+}
+
+// dataset is Dataset with a per-request trace hook. The goroutine that
+// wins the sync.Once — the one that actually streams the corpus — fires
+// both the engine observer and its own hook, so the ingestion span
+// attaches to the request that paid for it; concurrent requests that
+// merely waited report nothing.
+func (e *Engine) dataset(hook *TraceHooks) (*analysis.Dataset, error) {
 	e.dsOnce.Do(func() {
 		defer e.dsDone.Store(true)
 		start := time.Now()
 		b := analysis.NewDatasetBuilder()
-		err := e.src.Each(e.workers, func(r *model.Run) error {
-			b.Add(r)
-			return nil
-		})
+		var parts []IngestPart
+		err := e.streamSource(b, hook, &parts)
+		end := time.Now()
 		if err != nil {
 			e.dsErr = fmt.Errorf("core: source %s: %w", e.src.Name(), err)
 			if e.obs.Ingest != nil {
-				e.obs.Ingest(time.Since(start), 0, e.dsErr)
+				e.obs.Ingest(end.Sub(start), 0, e.dsErr)
+			}
+			if hook != nil && hook.Ingest != nil {
+				hook.Ingest(IngestTrace{Source: e.src.Name(),
+					Start: start, End: end, Err: e.dsErr, Parts: parts})
 			}
 			return
 		}
@@ -155,10 +214,43 @@ func (e *Engine) Dataset() (*analysis.Dataset, error) {
 		// honor the same worker bound as the engine itself.
 		e.ds.Workers = e.workers
 		if e.obs.Ingest != nil {
-			e.obs.Ingest(time.Since(start), len(e.ds.Raw), nil)
+			e.obs.Ingest(end.Sub(start), len(e.ds.Raw), nil)
+		}
+		if hook != nil && hook.Ingest != nil {
+			hook.Ingest(IngestTrace{Source: e.src.Name(),
+				Start: start, End: end, Runs: len(e.ds.Raw), Parts: parts})
 		}
 	})
 	return e.ds, e.dsErr
+}
+
+// streamSource drains the corpus into the builder. On a traced request
+// whose source decomposes (Parted), each part streams separately so the
+// trace gets per-source sub-spans; the merged stream is identical
+// either way because part order is the composite's drain order.
+func (e *Engine) streamSource(b *analysis.DatasetBuilder, hook *TraceHooks, parts *[]IngestPart) error {
+	yield := func(r *model.Run) error {
+		b.Add(r)
+		return nil
+	}
+	if hook == nil || hook.Ingest == nil {
+		return e.src.Each(e.workers, yield)
+	}
+	ps := sourceParts(e.src)
+	if len(ps) < 2 {
+		return e.src.Each(e.workers, yield)
+	}
+	for _, p := range ps {
+		start := time.Now()
+		before := b.Len()
+		err := p.Each(e.workers, yield)
+		*parts = append(*parts, IngestPart{Source: p.Name(),
+			Start: start, End: time.Now(), Runs: b.Len() - before})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // IngestionFailed reports whether a completed ingestion errored,
@@ -201,6 +293,11 @@ func (e *UnknownAnalysisError) Error() string {
 type Request struct {
 	Name   string
 	Params analysis.Params
+	// Trace, when non-nil, receives this request's lifecycle events.
+	// It never affects memo identity or results — two requests
+	// differing only in Trace share one computation, and only the one
+	// that computes reports.
+	Trace *TraceHooks
 }
 
 // Analysis computes one named analysis with default parameters,
@@ -244,18 +341,29 @@ func (e *Engine) AnalysisRequest(req Request) (any, error) {
 		var ds *analysis.Dataset
 		if !reg.Static {
 			var err error
-			if ds, err = e.Dataset(); err != nil {
+			if ds, err = e.dataset(req.Trace); err != nil {
 				m.err = err
 				return
 			}
+			if req.Trace != nil && req.Trace.Kernel != nil {
+				// A shallow copy sharing the dataset's cache identity,
+				// so attaching the per-request observer never splits
+				// dataset-keyed caches downstream.
+				ds = ds.WithKernel(req.Trace.Kernel)
+			}
 		}
-		// The compute timer starts after Dataset so the observer sees
+		// The compute timer starts after dataset so the observer sees
 		// the analysis function's own cost, not the ingestion it may
 		// have been first to trigger — Ingest reports that separately.
 		start := time.Now()
 		m.val, m.err = reg.Func(ds, params)
+		end := time.Now()
 		if e.obs.Compute != nil {
-			e.obs.Compute(key.name, key.params, time.Since(start), m.err)
+			e.obs.Compute(key.name, key.params, end.Sub(start), m.err)
+		}
+		if req.Trace != nil && req.Trace.Compute != nil {
+			req.Trace.Compute(ComputeTrace{Name: key.name, Params: key.params,
+				Start: start, End: end, Err: m.err})
 		}
 	})
 	return m.val, m.err

@@ -25,6 +25,7 @@ func init() {
 		return time.Now().Unix(), nil // want "reads the wall clock"
 	})
 	analysis.Register("ndet-seeded", "seeded private generator", seededRand)
+	analysis.Register("ndet-observer", "kernel progress observer", observerEmitter)
 	analysis.Register("ndet-stored", "metric stored in a table", storedMetric)
 	analysis.Register("ndet-select", "racing select", selectRace)
 }
@@ -80,6 +81,23 @@ func allowedPool(ds *analysis.Dataset) (any, error) {
 	go func() { close(done) }()
 	<-done
 	return 1, nil
+}
+
+// observerEmitter is the sanctioned tracing pattern: kernels report
+// progress as count-only events through the dataset's func-typed
+// observer. The call is dynamic — the walk cannot see through
+// ds.Kernel's value, and by contract the serving layer injects the
+// timestamping there, outside the registered set — so no diagnostics.
+// The determinism this rests on is behavioral: events carry counts the
+// analysis computed anyway, never clock or rand reads (those would be
+// flagged at the emit site, as wallClock above shows).
+func observerEmitter(ds *analysis.Dataset) (any, error) {
+	for i := 0; i < 3; i++ {
+		if ds.Kernel != nil {
+			ds.Kernel(analysis.KernelEvent{Kernel: "kmeans", Event: "iteration", Index: i, Moved: 3 - i})
+		}
+	}
+	return 3, nil
 }
 
 // seededRand is the sanctioned pattern: a private generator with a

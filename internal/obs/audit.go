@@ -39,6 +39,11 @@ type Record struct {
 	Filter string `json:"filter,omitempty"`
 	// ResultDigest is core.Digest over the exact served body bytes.
 	ResultDigest string `json:"result_digest"`
+	// TraceID is the request trace that produced the response (32 hex
+	// digits), "" when the server ran without tracing. Absent from the
+	// JSON — and from the record hash — when empty, so logs written
+	// before tracing existed keep verifying byte-for-byte.
+	TraceID string `json:"trace_id,omitempty"`
 	// Prev is the previous record's Hash (ChainGenesis for Seq 0).
 	Prev string `json:"prev"`
 	// Hash chains this record: core.Digest over every field above.
@@ -51,11 +56,24 @@ var ChainGenesis = core.Digest("specserve-audit-genesis")
 
 // recordHash computes the chain hash of r from its content fields and
 // Prev, reusing core.Digest's length-prefixed framing so field
-// boundaries cannot be forged by shifting bytes between fields.
+// boundaries cannot be forged by shifting bytes between fields. A
+// non-empty TraceID joins the hash under its own domain label;
+// an empty one contributes nothing, which keeps every record written
+// before the field existed verifying under today's code. That
+// conditional is safe because chain integrity rests on anchoring the
+// head hash externally, not on guessing-resistance of individual
+// fields — and the framing makes "trace:" + id unforgeable by
+// shifting bytes from neighboring fields.
 func recordHash(r Record) string {
-	return core.Digest("audit-record",
-		strconv.FormatUint(r.Seq, 10), r.Time, r.Fingerprint,
-		r.Analysis, r.Params, r.Filter, r.ResultDigest, r.Prev)
+	fields := []string{
+		"audit-record", strconv.FormatUint(r.Seq, 10), r.Time, r.Fingerprint,
+		r.Analysis, r.Params, r.Filter, r.ResultDigest,
+	}
+	if r.TraceID != "" {
+		fields = append(fields, "trace:"+r.TraceID)
+	}
+	fields = append(fields, r.Prev)
+	return core.Digest(fields...)
 }
 
 // ResultDigest digests the exact bytes a response served, the value
@@ -73,6 +91,9 @@ type Entry struct {
 	Params       string
 	Filter       string
 	ResultDigest string
+	// TraceID links the record to the request trace that served the
+	// bytes ("" when tracing is off).
+	TraceID string
 }
 
 // AuditOptions tune the batching writer. Zero values select defaults.
@@ -240,6 +261,7 @@ func (l *AuditLog) chain(e Entry) {
 		Params:       e.Params,
 		Filter:       e.Filter,
 		ResultDigest: e.ResultDigest,
+		TraceID:      e.TraceID,
 		Prev:         l.prev,
 	}
 	r.Hash = recordHash(r)
@@ -292,6 +314,10 @@ func (e *ChainError) Error() string {
 type VerifyResult struct {
 	Records  int
 	HeadHash string
+	// HeadTraceID is the last record's trace id ("" for logs written
+	// without tracing) — specaudit head surfaces it so an operator can
+	// jump from the chain head to the trace that produced it.
+	HeadTraceID string
 }
 
 // VerifyChain reads a chained log and checks every link: sequential
@@ -304,6 +330,7 @@ func VerifyChain(r io.Reader) (VerifyResult, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	prev := ChainGenesis
+	headTrace := ""
 	n := 0
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -333,6 +360,7 @@ func VerifyChain(r io.Reader) (VerifyResult, error) {
 			return VerifyResult{}, &ChainError{Index: n, Reason: "record hash does not match contents"}
 		}
 		prev = rec.Hash
+		headTrace = rec.TraceID
 		n++
 	}
 	if err := sc.Err(); err != nil {
@@ -342,5 +370,5 @@ func VerifyChain(r io.Reader) (VerifyResult, error) {
 	if n > 0 {
 		head = prev
 	}
-	return VerifyResult{Records: n, HeadHash: head}, nil
+	return VerifyResult{Records: n, HeadHash: head, HeadTraceID: headTrace}, nil
 }

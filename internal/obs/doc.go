@@ -29,4 +29,28 @@
 // Close) so the serving hot path never blocks on file I/O, and Close
 // drains every queued record before returning — a graceful shutdown
 // loses nothing.
+//
+// Each record also carries the trace id of the request that served the
+// bytes (empty when tracing is off). The id is folded into the record
+// hash only when present, so logs written before tracing existed — or
+// with tracing disabled — verify byte-for-byte under the current
+// verifier, and anchors captured from them stay valid.
+//
+// # Tracing
+//
+// The histograms above answer "how slow are requests like this"; the
+// obs/trace subpackage answers "where did this request spend its
+// time". Each request gets a Trace — a tree of timed Spans with
+// ordered attributes, carrying W3C trace-context identity — built by
+// the serving layer as the request crosses the same stages the
+// Collector aggregates, plus kernel-level child spans (one per k-means
+// iteration or HAC merge batch) fed by count-only observer callbacks
+// so the analyses themselves stay clock-free. Completed traces are
+// published to a bounded lock-free Ring and served by /v1/traces.
+//
+// RuntimeSampler rounds out the picture: sampled at /metrics scrape
+// time, it renders goroutine count, heap gauges, GC cycle count, and a
+// cumulative GC pause histogram (WriteRuntimePrometheus) so a latency
+// spike in the stage histograms can be checked against GC pressure
+// without attaching a profiler.
 package obs

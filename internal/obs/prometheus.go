@@ -20,10 +20,17 @@ type ServerGauges struct {
 	RejectedBusy  int64
 	InFlight      int64
 	PoolEngines   int
+	PoolCapacity  int
 	EngineBuilds  int64
 	PoolEvictions int64
 	UptimeSeconds float64
 	Analyses      int
+
+	// TraceCapacity gates the trace metrics (0 = tracing disabled);
+	// TracesRecorded counts traces pushed into the ring over the
+	// process lifetime, including ones since overwritten.
+	TraceCapacity  int
+	TracesRecorded int64
 
 	// AuditEnabled gates the audit metrics; AuditRecords counts chained
 	// records appended over the process lifetime.
@@ -86,11 +93,16 @@ func (c *Collector) WritePrometheus(w io.Writer, g ServerGauges) {
 	counter("specserve_pool_evictions_total", "Scope engines evicted past the LRU bound.", g.PoolEvictions)
 	gauge("specserve_in_flight_requests", "Requests currently inside the concurrency gate.", strconv.FormatInt(g.InFlight, 10))
 	gauge("specserve_pool_engines", "Resident scope engines.", strconv.Itoa(g.PoolEngines))
+	gauge("specserve_pool_capacity", "Scope engine pool bound (resident engines never exceed this).", strconv.Itoa(g.PoolCapacity))
 	gauge("specserve_registered_analyses", "Registered analyses, read live from the registry.", strconv.Itoa(g.Analyses))
 	gauge("specserve_uptime_seconds", "Seconds since the server was constructed.",
 		strconv.FormatFloat(g.UptimeSeconds, 'f', 3, 64))
 	if g.AuditEnabled {
 		counter("specserve_audit_records_total", "Hash-chained audit records appended.", g.AuditRecords)
+	}
+	if g.TraceCapacity > 0 {
+		counter("specserve_traces_recorded_total", "Request traces recorded (including ones overwritten in the ring).", g.TracesRecorded)
+		gauge("specserve_trace_ring_capacity", "Bound on resident completed traces served by /v1/traces.", strconv.Itoa(g.TraceCapacity))
 	}
 
 	c.mu.Lock()
@@ -122,4 +134,31 @@ func (c *Collector) WritePrometheus(w io.Writer, g ServerGauges) {
 	for _, name := range names {
 		writeHistogram(w, "specserve_request_duration_seconds", "analysis", name, analyses[name].Snapshot())
 	}
+}
+
+// WriteRuntimePrometheus renders the specserve_runtime_* section: Go
+// runtime introspection (goroutines, heap, GC pause histogram) from one
+// RuntimeSampler reading, appended after the serving metrics so the
+// whole /metrics page is one exposition document.
+func WriteRuntimePrometheus(w io.Writer, rs RuntimeStats) {
+	writeHeader(w, "specserve_runtime_goroutines", "gauge", "Live goroutines.")
+	fmt.Fprintf(w, "specserve_runtime_goroutines %d\n", rs.Goroutines)
+	writeHeader(w, "specserve_runtime_heap_inuse_bytes", "gauge", "Heap bytes in active spans.")
+	fmt.Fprintf(w, "specserve_runtime_heap_inuse_bytes %d\n", rs.HeapInuseBytes)
+	writeHeader(w, "specserve_runtime_heap_alloc_bytes", "gauge", "Live heap allocation in bytes.")
+	fmt.Fprintf(w, "specserve_runtime_heap_alloc_bytes %d\n", rs.HeapAllocBytes)
+	writeHeader(w, "specserve_runtime_gc_cycles_total", "counter", "Completed GC cycles.")
+	fmt.Fprintf(w, "specserve_runtime_gc_cycles_total %d\n", rs.GCCycles)
+	writeHeader(w, "specserve_runtime_gc_pause_seconds", "histogram",
+		"Stop-the-world GC pause durations over the process lifetime.")
+	s := rs.GCPauses
+	for _, b := range s.Buckets {
+		le := "+Inf"
+		if b.UpperNs >= 0 {
+			le = seconds(b.UpperNs)
+		}
+		fmt.Fprintf(w, "specserve_runtime_gc_pause_seconds_bucket{le=%q} %d\n", le, b.Cumulative)
+	}
+	fmt.Fprintf(w, "specserve_runtime_gc_pause_seconds_sum %s\n", seconds(s.SumNs))
+	fmt.Fprintf(w, "specserve_runtime_gc_pause_seconds_count %d\n", s.Count)
 }

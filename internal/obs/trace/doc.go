@@ -1,0 +1,36 @@
+// Package trace is the request-tracing layer behind specserve: where
+// internal/obs answers "how long does each stage take in aggregate",
+// this package answers "why was this one request slow".
+//
+// # Spans
+//
+// A Trace is one request's hierarchical timing record: a root Span
+// covering the whole request, with child spans for each stage the
+// request actually entered — queue wait, engine build, corpus
+// ingestion (with per-source sub-spans for merged corpora), analysis
+// compute (with kernel-level sub-spans: one per k-means Lloyd
+// iteration, one per HAC merge batch), and serialization. Spans carry
+// ordered string attributes (status, analysis, canonical params, ETag,
+// audit digest, moved-point counts, …) so a trace links to the audit
+// record and the metrics the same request produced. Span creation and
+// finishing are safe for concurrent use; the snapshot a finished trace
+// renders is deterministic given the recorded timings.
+//
+// # Propagation
+//
+// New honors an inbound W3C traceparent header
+// (00-<trace-id>-<parent-id>-<flags>): the trace id is adopted and the
+// caller's span id recorded as the root's parent, so a specserve span
+// tree slots into a caller's distributed trace. An absent or malformed
+// header mints a fresh trace id. Traceparent renders the outbound
+// header for the response, carrying the locally minted root span id.
+//
+// # The ring
+//
+// Completed traces land in a Ring — a bounded lock-free buffer of the
+// most recent N traces (Add is an atomic counter bump plus an atomic
+// pointer store; no locks, no per-request allocation beyond the trace
+// itself). GET /v1/traces snapshots the ring, newest first; once the
+// ring wraps, the oldest trace is overwritten. The ring never blocks
+// the request path and tolerates concurrent Add/Snapshot.
+package trace

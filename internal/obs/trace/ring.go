@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Ring is a bounded lock-free buffer of the most recent traces. Add
+// claims the next slot with one atomic counter bump and publishes the
+// trace with one atomic pointer store; once the ring wraps, the oldest
+// trace is overwritten. Snapshot reads every slot without blocking
+// writers — a trace being overwritten mid-snapshot appears as either
+// the old or the new occupant, never a torn value.
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	seq   atomic.Uint64
+}
+
+// NewRing returns a ring holding up to capacity traces (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// Capacity reports the slot count.
+func (r *Ring) Capacity() int { return len(r.slots) }
+
+// Recorded reports the total traces ever added, including overwritten
+// ones.
+func (r *Ring) Recorded() uint64 { return r.seq.Load() }
+
+// Add publishes a completed trace, assigning its ring sequence. The
+// sequence write happens before the pointer store, so a reader that
+// loads the trace sees its final seq.
+func (r *Ring) Add(t *Trace) {
+	seq := r.seq.Add(1)
+	t.seq = seq
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(t)
+}
+
+// Snapshot returns the resident traces, newest first (descending ring
+// sequence).
+func (r *Ring) Snapshot() []*Trace {
+	out := make([]*Trace, 0, len(r.slots))
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	return out
+}

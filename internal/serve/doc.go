@@ -9,6 +9,8 @@
 //	GET /v1/analyses/{name}        one analysis result as {name, description, filter, params, value}
 //	GET /v1/report                 the full text report
 //	GET /v1/stats                  serving metrics (JSON; stage and per-analysis latency breakdowns)
+//	GET /v1/traces                 recent request traces (?n= count, ?min_ms= slow filter)
+//	GET /debug/pprof/              runtime profiles (Config.Pprof, loopback clients only)
 //
 // The analysis and report endpoints accept ?filter=EXPR, a
 // core.ParseFilter corpus-slice expression ("vendor=AMD,since=2021"),
@@ -73,7 +75,25 @@
 // once per request, so single-flight sharing cannot inflate them. The
 // aggregates surface twice from one source: /v1/stats as JSON (stage
 // and per-analysis percentile summaries) and /metrics as Prometheus
-// text exposition (cumulative histograms and counters).
+// text exposition (cumulative histograms and counters, plus a
+// specserve_runtime_* section sampled at scrape time).
+//
+// # Tracing
+//
+// Histograms aggregate; traces explain. Unless Config.TraceBufferSize
+// is negative, each request also carries an obs/trace tracer: the
+// middleware opens a root span (adopting an inbound W3C Traceparent
+// header and echoing the outbound one), the gate and handlers hang
+// stage child spans off it, and engine-side events arrive through
+// core.TraceHooks — fired only on the request that actually paid for
+// the ingestion or computation, so warm traces have no compute span.
+// Kernel-depth spans (per k-means iteration, per HAC merge batch) come
+// from count-only observer callbacks injected per request; the tracer
+// timestamps them on receipt, keeping registered analyses clock-free
+// under specvet's determinism gate. Completed traces are published to
+// a bounded lock-free ring served by /v1/traces, Config.SlowTrace logs
+// one line per slower-than-threshold request with its trace id, and
+// the id also rides the audit record for the same response.
 //
 // # Audit
 //

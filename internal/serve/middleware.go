@@ -64,7 +64,10 @@ func (s *Server) withGate(next http.Handler) http.Handler {
 			httpError(w, http.StatusServiceUnavailable, "server busy")
 			return
 		}
-		requestMetrics(r).QueueWaitNs = time.Since(wait).Nanoseconds()
+		entered := time.Now()
+		requestMetrics(r).QueueWaitNs = entered.Sub(wait).Nanoseconds()
+		qsp := requestTracer(r).root().ChildAt("queue_wait", wait)
+		qsp.FinishAt(entered)
 		s.counters.inFlight.Add(1)
 		defer func() {
 			s.counters.inFlight.Add(-1)
@@ -75,28 +78,38 @@ func (s *Server) withGate(next http.Handler) http.Handler {
 }
 
 // withMetrics is the outermost layer: it plants the request's metrics
-// record in the context, and when the handler chain returns it stamps
-// the final status and total duration and folds the record into the
-// collector — the single point every response (200, 304, 4xx, 5xx, and
-// gate 503s alike) is counted at. One Logf line per request when
-// configured, now with the stage breakdown.
+// record (and, when tracing is on, its tracer) in the context, and when
+// the handler chain returns it stamps the final status and total
+// duration, folds the record into the collector — the single point
+// every response (200, 304, 4xx, 5xx, and gate 503s alike) is counted
+// at — and publishes the completed trace. One Logf line per request
+// when configured, now with the stage breakdown.
 func (s *Server) withMetrics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		m := &obs.RequestMetrics{}
 		r = r.WithContext(context.WithValue(r.Context(), metricsKey, m))
+		r, t := s.withTrace(r, start)
+		if t != nil {
+			// The outbound header carries this trace's id with the local
+			// root span as parent, so a caller's distributed trace links
+			// up; set before the handler writes the status line.
+			w.Header().Set("Traceparent", t.tr.Traceparent())
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK // nothing written: net/http defaults to 200
 		}
+		dur := time.Since(start)
 		m.Status = sw.status
-		m.TotalNs = time.Since(start).Nanoseconds()
+		m.TotalNs = dur.Nanoseconds()
 		s.metrics.ObserveRequest(m)
+		s.finishTrace(t, r, sw.status, dur)
 		if s.cfg.Logf != nil {
 			s.cfg.Logf("%s %s %d %dB %s",
 				r.Method, r.URL.RequestURI(), sw.status, sw.bytes,
-				time.Since(start).Round(time.Microsecond))
+				dur.Round(time.Microsecond))
 		}
 	})
 }

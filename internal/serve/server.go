@@ -13,6 +13,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/synth"
 )
 
@@ -20,6 +21,9 @@ import (
 const (
 	DefaultPoolSize    = 32
 	DefaultMaxInFlight = 64
+	// DefaultTraceBuffer bounds the resident completed traces served
+	// by /v1/traces when Config.TraceBufferSize is zero.
+	DefaultTraceBuffer = 256
 )
 
 // Config configures a Server.
@@ -43,6 +47,17 @@ type Config struct {
 	// 304s (no bytes served) are never appended. The server does not
 	// own the log's lifecycle; the caller closes it after shutdown.
 	Audit *obs.AuditLog
+	// TraceBufferSize bounds the completed request traces retained for
+	// GET /v1/traces (0 = DefaultTraceBuffer; negative disables
+	// tracing entirely — no per-request trace, no /v1/traces route).
+	TraceBufferSize int
+	// SlowTrace, when positive, logs one line through Logf for every
+	// request at least this slow, carrying its trace id. No effect
+	// when tracing is disabled or Logf is nil.
+	SlowTrace time.Duration
+	// Pprof mounts GET /debug/pprof/* for loopback clients. Off by
+	// default: profiles expose memory contents.
+	Pprof bool
 }
 
 // Server serves the analysis registry over HTTP. It is an http.Handler;
@@ -57,6 +72,8 @@ type Server struct {
 	counters counters
 	metrics  *obs.Collector
 	audit    *obs.AuditLog
+	traces   *trace.Ring // nil when tracing is disabled
+	runtime  obs.RuntimeSampler
 }
 
 // New builds a Server over cfg.
@@ -79,6 +96,13 @@ func New(cfg Config) *Server {
 		metrics: metrics,
 		audit:   cfg.Audit,
 	}
+	if cfg.TraceBufferSize >= 0 {
+		size := cfg.TraceBufferSize
+		if size == 0 {
+			size = DefaultTraceBuffer
+		}
+		s.traces = trace.NewRing(size)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -86,6 +110,12 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/analyses/{name}", s.handleAnalysis)
 	mux.HandleFunc("GET /v1/report", s.handleReport)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.traces != nil {
+		mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	}
+	if cfg.Pprof {
+		mountPprof(mux)
+	}
 	s.handler = s.withMetrics(s.withGate(mux))
 	return s
 }
@@ -160,16 +190,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var buf bytes.Buffer
 	s.metrics.WritePrometheus(&buf, s.gauges())
+	obs.WriteRuntimePrometheus(&buf, s.runtime.Sample())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf.Bytes())
 }
 
-// appendAudit chains one provenance record for a served 200. The append
-// is a channel send — the batching writer does the file I/O off the
-// request path.
-func (s *Server) appendAudit(fingerprint, analysisName, params, filter string, body []byte) {
+// appendAudit chains one provenance record for a served 200, carrying
+// the precomputed body digest (the handler also stamps it onto the
+// trace, so it is hashed once) and the request's trace id ("" with
+// tracing off). The append is a channel send — the batching writer
+// does the file I/O off the request path.
+func (s *Server) appendAudit(fingerprint, analysisName, params, filter, digest, traceID string) {
 	if s.audit == nil {
 		return
 	}
@@ -179,7 +212,8 @@ func (s *Server) appendAudit(fingerprint, analysisName, params, filter string, b
 		Analysis:     analysisName,
 		Params:       params,
 		Filter:       filter,
-		ResultDigest: obs.ResultDigest(body),
+		ResultDigest: digest,
+		TraceID:      traceID,
 	})
 }
 
@@ -323,9 +357,21 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 	m := requestMetrics(r)
 	m.Analysis = name
 	m.Params = params.Canonical()
+	t := requestTracer(r)
+	root := t.root()
+	root.SetAttr("analysis", name)
+	if p := params.Canonical(); p != "" {
+		root.SetAttr("params", p)
+	}
+	if sc.expr != "" {
+		root.SetAttr("filter", sc.expr)
+	}
 	poolStart := time.Now()
 	ent, err := s.pool.get(sc)
-	m.EngineBuildNs = time.Since(poolStart).Nanoseconds()
+	buildEnd := time.Now()
+	m.EngineBuildNs = buildEnd.Sub(poolStart).Nanoseconds()
+	bsp := root.ChildAt("build", poolStart)
+	bsp.FinishAt(buildEnd)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -334,13 +380,14 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 	// ?k=3 and ?k=5 on one scope revalidate independently while two
 	// spellings of the same parameterization share one ETag.
 	etag := etagFor(ent.fingerprint, "analysis", name, sc.expr, params.Canonical())
+	root.SetAttr("etag", etag)
 	if notModified(r, etag) {
 		writeValidator(w, etag)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	computeStart := time.Now()
-	v, err := ent.eng.AnalysisRequest(core.Request{Name: name, Params: params})
+	v, err := ent.eng.AnalysisRequest(core.Request{Name: name, Params: params, Trace: t.hooks()})
 	m.ComputeNs = time.Since(computeStart).Nanoseconds()
 	if err != nil {
 		// A broken corpus poisons every analysis of the scope: drop the
@@ -369,17 +416,25 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		Params:      params.Canonical(),
 		Value:       v,
 	})
-	m.SerializeNs = time.Since(serializeStart).Nanoseconds()
+	serializeEnd := time.Now()
+	m.SerializeNs = serializeEnd.Sub(serializeStart).Nanoseconds()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, fmt.Sprintf("encode response: %v", err))
 		return
 	}
+	ssp := root.ChildAt("serialize", serializeStart)
+	ssp.SetAttr("bytes", fmt.Sprint(len(body)))
+	ssp.FinishAt(serializeEnd)
 	// The validator is attached only now, to a response that represents
 	// the resource — an error above must not hand out an ETag that
 	// would later revalidate to a misleading 304. The audit record
 	// digests the exact bytes about to be served, under the same
-	// fingerprint + canonical params identity the ETag derives from.
-	s.appendAudit(ent.fingerprint, name, params.Canonical(), sc.expr, body)
+	// fingerprint + canonical params identity the ETag derives from,
+	// and both the record and the trace carry the digest so a span can
+	// be matched to its audit row (and vice versa).
+	digest := obs.ResultDigest(body)
+	root.SetAttr("audit_digest", digest)
+	s.appendAudit(ent.fingerprint, name, params.Canonical(), sc.expr, digest, t.id())
 	writeValidator(w, etag)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -412,14 +467,24 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	m := requestMetrics(r)
 	m.Analysis = "report"
+	t := requestTracer(r)
+	root := t.root()
+	root.SetAttr("analysis", "report")
+	if sc.expr != "" {
+		root.SetAttr("filter", sc.expr)
+	}
 	poolStart := time.Now()
 	ent, err := s.pool.get(sc)
-	m.EngineBuildNs = time.Since(poolStart).Nanoseconds()
+	buildEnd := time.Now()
+	m.EngineBuildNs = buildEnd.Sub(poolStart).Nanoseconds()
+	bsp := root.ChildAt("build", poolStart)
+	bsp.FinishAt(buildEnd)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	etag := etagFor(ent.fingerprint, "report", sc.expr)
+	root.SetAttr("etag", etag)
 	if notModified(r, etag) {
 		writeValidator(w, etag)
 		w.WriteHeader(http.StatusNotModified)
@@ -427,23 +492,31 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	// Render into a buffer so a mid-report analysis failure becomes a
 	// clean 500 instead of half a 200. Rendering is compute and
-	// serialize in one pass; it counts as compute, the dominant cost.
+	// serialize in one pass; it counts as compute, the dominant cost —
+	// the trace gets one "render" span rather than engine hooks, since
+	// WriteReport fans analyses out internally and per-request
+	// attribution of the shared memo fills would mislead.
 	computeStart := time.Now()
 	var buf bytes.Buffer
-	if err := ent.eng.WriteReport(&buf); err != nil {
-		m.ComputeNs = time.Since(computeStart).Nanoseconds()
+	renderErr := ent.eng.WriteReport(&buf)
+	computeEnd := time.Now()
+	m.ComputeNs = computeEnd.Sub(computeStart).Nanoseconds()
+	rsp := root.ChildAt("render", computeStart)
+	rsp.FinishAt(computeEnd)
+	if renderErr != nil {
 		if ent.eng.IngestionFailed() {
 			s.pool.drop(ent)
 		}
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, http.StatusInternalServerError, renderErr.Error())
 		return
 	}
-	m.ComputeNs = time.Since(computeStart).Nanoseconds()
 	// The report is attributable output like any analysis: audit it
 	// under the reserved name "report" (the registry rejects no such
 	// analysis name collision — names are lowercase identifiers and
 	// "report" is not registered).
-	s.appendAudit(ent.fingerprint, "report", "", sc.expr, buf.Bytes())
+	digest := obs.ResultDigest(buf.Bytes())
+	root.SetAttr("audit_digest", digest)
+	s.appendAudit(ent.fingerprint, "report", "", sc.expr, digest, t.id())
 	writeValidator(w, etag)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -53,8 +53,11 @@ type StatsSnapshot struct {
 	RejectedBusy int64 `json:"rejected_busy"`
 	// InFlight is the number of requests currently inside the gate.
 	InFlight int64 `json:"in_flight"`
-	// PoolEngines is the number of resident scope engines.
-	PoolEngines int `json:"pool_engines"`
+	// PoolEngines is the number of resident scope engines; PoolCapacity
+	// is the LRU bound they never exceed, so occupancy is
+	// PoolEngines/PoolCapacity without knowing the server's config.
+	PoolEngines  int `json:"pool_engines"`
+	PoolCapacity int `json:"pool_capacity"`
 	// EngineBuilds counts engines built over the server's lifetime
 	// (PoolEngines plus evicted ones; single-flight keeps this at one
 	// per cold scope no matter the concurrency).
@@ -74,6 +77,17 @@ type StatsSnapshot struct {
 	AnalysisLatency []obs.AnalysisSummary `json:"analysis_latency,omitempty"`
 	// Audit reports the hash-chained audit log, when enabled.
 	Audit *AuditStats `json:"audit,omitempty"`
+	// Traces reports the request-trace ring, when tracing is enabled.
+	Traces *TraceStats `json:"traces,omitempty"`
+}
+
+// TraceStats reports the trace ring's state in /v1/stats.
+type TraceStats struct {
+	// Capacity is the ring bound (resident traces never exceed it).
+	Capacity int `json:"capacity"`
+	// Recorded counts traces pushed over the process lifetime,
+	// including ones since overwritten.
+	Recorded uint64 `json:"recorded"`
 }
 
 // Stats returns a snapshot of the serving metrics.
@@ -89,6 +103,7 @@ func (s *Server) Stats() StatsSnapshot {
 		RejectedBusy:    s.counters.rejected.Load(),
 		InFlight:        s.counters.inFlight.Load(),
 		PoolEngines:     s.pool.len(),
+		PoolCapacity:    s.pool.max,
 		EngineBuilds:    s.pool.builds.Load(),
 		PoolEvictions:   s.pool.evictions.Load(),
 		Analyses:        len(analysis.Names()),
@@ -97,6 +112,9 @@ func (s *Server) Stats() StatsSnapshot {
 	}
 	if s.audit != nil {
 		snap.Audit = &AuditStats{Path: s.audit.Path(), Records: s.audit.Records()}
+	}
+	if s.traces != nil {
+		snap.Traces = &TraceStats{Capacity: s.traces.Capacity(), Recorded: s.traces.Recorded()}
 	}
 	return snap
 }
@@ -112,6 +130,7 @@ func (s *Server) gauges() obs.ServerGauges {
 		RejectedBusy:  s.counters.rejected.Load(),
 		InFlight:      s.counters.inFlight.Load(),
 		PoolEngines:   s.pool.len(),
+		PoolCapacity:  s.pool.max,
 		EngineBuilds:  s.pool.builds.Load(),
 		PoolEvictions: s.pool.evictions.Load(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -120,6 +139,10 @@ func (s *Server) gauges() obs.ServerGauges {
 	if s.audit != nil {
 		g.AuditEnabled = true
 		g.AuditRecords = s.audit.Records()
+	}
+	if s.traces != nil {
+		g.TraceCapacity = s.traces.Capacity()
+		g.TracesRecorded = int64(s.traces.Recorded())
 	}
 	return g
 }
