@@ -10,6 +10,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/evlog"
 	"repro/internal/parser"
 	"repro/internal/power"
 	"repro/internal/ptd"
@@ -675,6 +677,29 @@ func BenchmarkServeAnalysis(b *testing.B) {
 	b.Run("warm-scope-traced", func(b *testing.B) {
 		srv := serve.New(serve.Config{
 			Base: core.SynthSource{Options: synth.DefaultOptions()},
+		})
+		if rec := request(b, srv, ""); rec.Code != http.StatusOK {
+			b.Fatalf("priming status %d", rec.Code)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec := request(b, srv, ""); rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+	// warm-scope-evlog bounds the event-log hot path: the same warm
+	// request (tracing off, matching the warm-scope baseline) with the
+	// structured event log on, so every request encodes and writes one
+	// logfmt line — method, path, status, status_class, etag_revalidated,
+	// bytes, dur, trace_id. The acceptance criteria cap the delta over
+	// warm-scope at 2%; interleave the two arms (-count N) to measure it
+	// in-process.
+	b.Run("warm-scope-evlog", func(b *testing.B) {
+		srv := serve.New(serve.Config{
+			Base:            core.SynthSource{Options: synth.DefaultOptions()},
+			TraceBufferSize: -1,
+			Events:          evlog.New(io.Discard, evlog.Options{}),
 		})
 		if rec := request(b, srv, ""); rec.Code != http.StatusOK {
 			b.Fatalf("priming status %d", rec.Code)

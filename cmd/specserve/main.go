@@ -8,6 +8,7 @@
 //	GET /v1/analyses/{name}?filter=   one analysis over a corpus slice
 //	GET /v1/report?filter=            the full text report
 //	GET /v1/stats                     serving metrics (JSON, stage/analysis latency breakdowns)
+//	GET /v1/pool                      engine-pool introspection (resident scopes, cache counters)
 //	GET /v1/traces                    recent request traces (?n= count, ?min_ms= slow filter)
 //	GET /debug/pprof/                 runtime profiles (-pprof only, loopback clients only)
 //
@@ -40,7 +41,15 @@
 //	specserve [-addr :8080] [-in corpus/]... [-cache] [-workers 8]
 //	          [-filter expr] [-pool 32] [-max-inflight 64] [-warm]
 //	          [-audit audit.log] [-trace-buf 256] [-trace-slow 500ms]
-//	          [-pprof]
+//	          [-pprof] [-log-format text|logfmt|json]
+//
+// -log-format selects the log encoding: text (default) preserves the
+// historical one-line request log byte-for-byte; logfmt and json emit
+// one structured event per line to stderr — every request event carries
+// its trace_id, status_class, and etag_revalidated, and the state-plane
+// machinery (engine pool, audit batcher) logs its lifecycle (pool_build
+// with single-flight join counts, pool_evict with reasons, audit_flush)
+// through the same stream. Watch it live with `spectop`.
 //
 // The server drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM; the audit log is flushed and closed as part of the drain.
@@ -59,6 +68,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/obs"
+	"repro/internal/obs/evlog"
 	"repro/internal/serve"
 )
 
@@ -73,8 +83,28 @@ func main() {
 	traceBuf := flag.Int("trace-buf", serve.DefaultTraceBuffer, "completed request traces kept for /v1/traces (0 disables tracing)")
 	traceSlow := flag.Duration("trace-slow", 0, "log requests slower than this duration with their trace id (0 disables)")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof for loopback clients")
+	logFormat := flag.String("log-format", "text",
+		"request/event log format: text (legacy one-line), logfmt, or json")
 	corpus := cliutil.RegisterCorpusFlags(flag.CommandLine)
 	flag.Parse()
+
+	// "text" keeps the historical one-line request log byte-for-byte;
+	// logfmt/json switch to the structured event log (trace_id on every
+	// request line, state-plane pool/cache/audit events).
+	var (
+		logf   func(format string, args ...any)
+		events *evlog.Logger
+	)
+	switch *logFormat {
+	case "text":
+		logf = log.Printf
+	default:
+		enc, err := evlog.ParseEncoding(*logFormat)
+		if err != nil {
+			log.Fatalf("-log-format: %v", err)
+		}
+		events = evlog.New(os.Stderr, evlog.Options{Encoding: enc})
+	}
 
 	src, err := corpus.Source()
 	if err != nil {
@@ -82,7 +112,7 @@ func main() {
 	}
 	var audit *obs.AuditLog
 	if *auditPath != "" {
-		audit, err = obs.OpenAuditLog(*auditPath, obs.AuditOptions{})
+		audit, err = obs.OpenAuditLog(*auditPath, obs.AuditOptions{Events: events})
 		if err != nil {
 			// A log that fails chain verification refuses to open —
 			// appending would bury the evidence. Operators keep the bad
@@ -103,8 +133,9 @@ func main() {
 		Workers:         corpus.Workers,
 		PoolSize:        *pool,
 		MaxInFlight:     *inflight,
-		Logf:            log.Printf,
+		Logf:            logf,
 		Audit:           audit,
+		Events:          events,
 		TraceBufferSize: bufSize,
 		SlowTrace:       *traceSlow,
 		Pprof:           *pprofOn,

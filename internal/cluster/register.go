@@ -179,6 +179,12 @@ type memoRing[T any] struct {
 	mu      sync.Mutex
 	entries [8]memoEntry[T]
 	next    int
+	// Lifetime counters, guarded by mu. Plain counts only — this code is
+	// reachable from registered analyses, so no clocks or I/O here; the
+	// serving layer reads them out via MemoRingCounters.
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type memoEntry[T any] struct {
@@ -196,18 +202,54 @@ func (r *memoRing[T]) get(ds *analysis.Dataset, key string) (T, bool) {
 	defer r.mu.Unlock()
 	for _, e := range r.entries {
 		if e.ds == id && e.key == key {
+			r.hits++
 			return e.val, true
 		}
 	}
+	r.misses++
 	var zero T
 	return zero, false
 }
 
 func (r *memoRing[T]) put(ds *analysis.Dataset, key string, val T) {
 	r.mu.Lock()
+	if r.entries[r.next].ds != nil {
+		r.evictions++
+	}
 	r.entries[r.next] = memoEntry[T]{ds: ds.CacheKey(), key: key, val: val}
 	r.next = (r.next + 1) % len(r.entries)
 	r.mu.Unlock()
+}
+
+// counters snapshots one ring's lifetime counts.
+func (r *memoRing[T]) counters() RingCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RingCounters{Hits: r.hits, Misses: r.misses, Evictions: r.evictions}
+}
+
+// RingCounters is one memo ring's lifetime hit/miss/eviction counts.
+type RingCounters struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// MemoRingStats snapshots the package's memo rings — the partition ring
+// behind "clusters"/"cluster-profiles" and the sweep ring behind the
+// auto-k branch and "cluster-sweep".
+type MemoRingStats struct {
+	Partition RingCounters
+	Sweep     RingCounters
+}
+
+// MemoRingCounters reports the process-wide memo-ring counters, for the
+// serving layer's /metrics exposition.
+func MemoRingCounters() MemoRingStats {
+	return MemoRingStats{
+		Partition: partitionCache.counters(),
+		Sweep:     sweepCache.counters(),
+	}
 }
 
 // partitionCache memoizes partitionFor per (dataset, canonical params)

@@ -6,9 +6,42 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
+
+// Parse-cache counters are package-level because CachedSource is a
+// value type constructed per ingestion — there is no long-lived
+// receiver to hang them on. They count process-lifetime events across
+// every CachedSource stream.
+var (
+	parseCacheHits          atomic.Int64 // size+mtime matched, parser skipped
+	parseCacheMisses        atomic.Int64 // file absent from the cache
+	parseCacheInvalidations atomic.Int64 // cached but stale (size or mtime changed)
+	parseCachePrunes        atomic.Int64 // stale keys dropped at rewrite (deleted files)
+)
+
+// ParseCacheStats is a point-in-time snapshot of the process-wide gob
+// parse-cache counters. Misses and invalidations both end in a
+// re-parse; they are kept apart so a corpus that churns in place
+// (invalidations) reads differently from one that grows (misses).
+type ParseCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	Prunes        int64
+}
+
+// ParseCacheCounters reports the process-wide parse-cache counters.
+func ParseCacheCounters() ParseCacheStats {
+	return ParseCacheStats{
+		Hits:          parseCacheHits.Load(),
+		Misses:        parseCacheMisses.Load(),
+		Invalidations: parseCacheInvalidations.Load(),
+		Prunes:        parseCachePrunes.Load(),
+	}
+}
 
 // cacheFileName is the default gob parse-cache file inside a corpus
 // directory. It carries no .txt extension, so the corpus lister never
@@ -72,12 +105,17 @@ func (s CachedSource) Each(workers int, yield func(*model.Run) error) error {
 		if err != nil {
 			return nil, fmt.Errorf("core: stat %s: %w", path, err)
 		}
-		if ent, ok := old[rel]; ok && ent.Size == info.Size() &&
-			ent.ModTime == info.ModTime().UnixNano() {
-			mu.Lock()
-			fresh[rel] = ent
-			mu.Unlock()
-			return ent.Run, nil
+		if ent, ok := old[rel]; ok {
+			if ent.Size == info.Size() && ent.ModTime == info.ModTime().UnixNano() {
+				parseCacheHits.Add(1)
+				mu.Lock()
+				fresh[rel] = ent
+				mu.Unlock()
+				return ent.Run, nil
+			}
+			parseCacheInvalidations.Add(1)
+		} else {
+			parseCacheMisses.Add(1)
 		}
 		r, err := parseResultFile(path)
 		if err != nil {
@@ -97,6 +135,11 @@ func (s CachedSource) Each(workers int, yield func(*model.Run) error) error {
 	// corpus mount must not fail an ingestion that already succeeded —
 	// the next run just parses cold again.
 	if dirty || len(fresh) != len(old) {
+		for rel := range old {
+			if _, ok := fresh[rel]; !ok {
+				parseCachePrunes.Add(1)
+			}
+		}
 		_ = saveParseCache(s.cachePath(), fresh)
 	}
 	return nil

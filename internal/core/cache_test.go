@@ -175,3 +175,61 @@ func TestCachedSourceCustomPath(t *testing.T) {
 		t.Errorf("default cache file should not exist, stat err = %v", err)
 	}
 }
+
+// TestParseCacheCounters: the package-wide counters classify each load
+// as hit, miss, invalidation, or prune. Counters are global, so the
+// test asserts deltas across its own sequential streams.
+func TestParseCacheCounters(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, runs, 0); err != nil {
+		t.Fatal(err)
+	}
+	src := CachedSource{Dir: dir}
+	n := int64(len(runs))
+
+	delta := func(f func()) ParseCacheStats {
+		before := ParseCacheCounters()
+		f()
+		after := ParseCacheCounters()
+		return ParseCacheStats{
+			Hits:          after.Hits - before.Hits,
+			Misses:        after.Misses - before.Misses,
+			Invalidations: after.Invalidations - before.Invalidations,
+			Prunes:        after.Prunes - before.Prunes,
+		}
+	}
+
+	cold := delta(func() { _ = cachedIDs(t, src, 0) })
+	if cold != (ParseCacheStats{Misses: n}) {
+		t.Errorf("cold stream delta = %+v, want %d misses only", cold, n)
+	}
+	warm := delta(func() { _ = cachedIDs(t, src, 0) })
+	if warm != (ParseCacheStats{Hits: n}) {
+		t.Errorf("warm stream delta = %+v, want %d hits only", warm, n)
+	}
+
+	// Move one file's mtime: its entry is stale (invalidation) but the
+	// unchanged content re-parses fine; the rest hit.
+	victim := filepath.Join(dir, runs[0].ID+".txt")
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(victim, past, past); err != nil {
+		t.Fatal(err)
+	}
+	inv := delta(func() { _ = cachedIDs(t, src, 0) })
+	if inv != (ParseCacheStats{Hits: n - 1, Invalidations: 1}) {
+		t.Errorf("stale-mtime delta = %+v, want %d hits + 1 invalidation", inv, n-1)
+	}
+
+	// Delete one file: its key is pruned at the rewrite; the rest hit.
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	pruned := delta(func() { _ = cachedIDs(t, src, 0) })
+	if pruned != (ParseCacheStats{Hits: n - 1, Prunes: 1}) {
+		t.Errorf("deletion delta = %+v, want %d hits + 1 prune", pruned, n-1)
+	}
+}

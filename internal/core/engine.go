@@ -37,6 +37,9 @@ type Engine struct {
 	mu         sync.Mutex
 	memos      map[memoKey]*memo
 	paramOrder []memoKey // non-default keys in insertion order, for eviction
+
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
 }
 
 // memoKey identifies one cached computation: the analysis name plus the
@@ -99,6 +102,10 @@ type Observer struct {
 	// string, the function's own duration (excluding any ingestion it
 	// waited on), and its error.
 	Compute func(name, params string, d time.Duration, err error)
+	// Hit is called when an analysis request finds an existing memo
+	// entry (whether or not its computation has finished yet) — the
+	// cache-hit counterpart of Compute. Fires under no engine lock.
+	Hit func(name, params string)
 }
 
 // WithObserver installs lifecycle timing callbacks on the engine.
@@ -324,6 +331,7 @@ func (e *Engine) AnalysisRequest(req Request) (any, error) {
 	key := memoKey{name: req.Name, params: params.Canonical()}
 	e.mu.Lock()
 	m := e.memos[key]
+	hit := m != nil
 	if m == nil {
 		m = &memo{}
 		e.memos[key] = m
@@ -337,6 +345,14 @@ func (e *Engine) AnalysisRequest(req Request) (any, error) {
 		}
 	}
 	e.mu.Unlock()
+	if hit {
+		e.memoHits.Add(1)
+		if e.obs.Hit != nil {
+			e.obs.Hit(key.name, key.params)
+		}
+	} else {
+		e.memoMisses.Add(1)
+	}
 	m.once.Do(func() {
 		var ds *analysis.Dataset
 		if !reg.Static {
@@ -367,6 +383,39 @@ func (e *Engine) AnalysisRequest(req Request) (any, error) {
 		}
 	})
 	return m.val, m.err
+}
+
+// MemoStats is a point-in-time snapshot of one engine's analysis memo
+// cache: lifetime hit/miss counts plus the resident entry count.
+// A "hit" is any request that found an existing entry — including
+// requests that then blocked on a computation still in flight — so
+// hits + misses equals total AnalysisRequest calls.
+type MemoStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// MemoStats reports the engine's memo-cache counters.
+func (e *Engine) MemoStats() MemoStats {
+	e.mu.Lock()
+	n := len(e.memos)
+	e.mu.Unlock()
+	return MemoStats{
+		Hits:    e.memoHits.Load(),
+		Misses:  e.memoMisses.Load(),
+		Entries: n,
+	}
+}
+
+// RunsIngested reports the corpus size without triggering ingestion:
+// zero until the source has been streamed (or if it failed). The dsDone
+// acquire makes reading ds safe here, mirroring IngestionFailed.
+func (e *Engine) RunsIngested() int {
+	if !e.dsDone.Load() || e.dsErr != nil {
+		return 0
+	}
+	return len(e.ds.Raw)
 }
 
 // AnalysisAs runs a named analysis and asserts its result type.

@@ -761,3 +761,73 @@ func TestEngineObserverIngestError(t *testing.T) {
 		t.Errorf("ingest observer: calls=%d err=%v, want 1 call with the error", calls, gotErr)
 	}
 }
+
+// TestEngineMemoStats: hits + misses equals AnalysisRequest calls, the
+// Observer.Hit callback fires once per hit, and RunsIngested reports
+// the corpus size only after a successful ingestion.
+func TestEngineMemoStats(t *testing.T) {
+	registerMemoProbe()
+	var hits atomic.Int64
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(WithSource(SliceSource(runs)), WithObserver(Observer{
+		Hit: func(name, params string) {
+			if name != "test_memo_probe" || params != "" {
+				t.Errorf("Hit(%q, %q)", name, params)
+			}
+			hits.Add(1)
+		},
+	}))
+	if got := eng.RunsIngested(); got != 0 {
+		t.Errorf("RunsIngested before ingestion = %d, want 0", got)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Analysis("test_memo_probe"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.MemoStats()
+	if st.Misses != 1 || st.Hits != 4 || st.Entries != 1 {
+		t.Errorf("MemoStats = %+v, want 1 miss, 4 hits, 1 entry", st)
+	}
+	if hits.Load() != 4 {
+		t.Errorf("Observer.Hit fired %d times, want 4", hits.Load())
+	}
+	if got := eng.RunsIngested(); got != len(runs) {
+		t.Errorf("RunsIngested = %d, want %d", got, len(runs))
+	}
+}
+
+// TestEngineMemoStatsParamMix mirrors BenchmarkParamMemoization's
+// shape: one miss per distinct parameterization, hits on repeats.
+func TestEngineMemoStatsParamMix(t *testing.T) {
+	eng := smallEngine(t)
+	reg, ok := analysis.Lookup("clusters")
+	if !ok {
+		t.Fatal("clusters not registered")
+	}
+	k4, err := reg.Params.Resolve(map[string]string{"k": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k5, err := reg.Params.Resolve(map[string]string{"k": "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []Request{
+		{Name: "clusters", Params: k4}, // miss
+		{Name: "clusters", Params: k4}, // hit
+		{Name: "clusters", Params: k5}, // miss
+		{Name: "clusters", Params: k4}, // hit
+	} {
+		if _, err := eng.AnalysisRequest(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.MemoStats()
+	if st.Misses != 2 || st.Hits != 2 || st.Entries != 2 {
+		t.Errorf("MemoStats = %+v, want 2 misses, 2 hits, 2 entries", st)
+	}
+}

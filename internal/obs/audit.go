@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs/evlog"
 )
 
 // Record is one appended audit entry: the provenance of one served
@@ -108,6 +109,10 @@ type AuditOptions struct {
 	// only if the writer goroutine falls this far behind — memory
 	// backpressure, never file I/O on the caller.
 	QueueSize int
+	// Events, when non-nil, receives an audit_flush lifecycle event per
+	// file flush (Debug level: records flushed, reason, queue depth at
+	// flush time). Nil — the default — logs nothing.
+	Events *evlog.Logger
 }
 
 func (o AuditOptions) withDefaults() AuditOptions {
@@ -140,6 +145,12 @@ type AuditLog struct {
 
 	records   atomic.Int64 // chained records over the process lifetime
 	writeErrs atomic.Int64
+
+	// flush accounting, split by what triggered the flush
+	flushBatch     atomic.Int64
+	flushInterval  atomic.Int64
+	flushClose     atomic.Int64
+	flushedRecords atomic.Int64
 
 	// writer-goroutine state
 	f       *os.File
@@ -239,15 +250,15 @@ func (l *AuditLog) run() {
 		select {
 		case e, ok := <-l.ch:
 			if !ok {
-				l.flush()
+				l.flush("close")
 				return
 			}
 			l.chain(e)
 			if l.pending >= l.opts.FlushRecords {
-				l.flush()
+				l.flush("batch")
 			}
 		case <-ticker.C:
-			l.flush()
+			l.flush("interval")
 		}
 	}
 }
@@ -284,7 +295,7 @@ func (l *AuditLog) chain(e Entry) {
 	l.records.Add(1)
 }
 
-func (l *AuditLog) flush() {
+func (l *AuditLog) flush(reason string) {
 	if l.pending == 0 {
 		return
 	}
@@ -292,7 +303,46 @@ func (l *AuditLog) flush() {
 		l.writeErrs.Add(1)
 		return
 	}
+	n := l.pending
 	l.pending = 0
+	switch reason {
+	case "batch":
+		l.flushBatch.Add(1)
+	case "interval":
+		l.flushInterval.Add(1)
+	case "close":
+		l.flushClose.Add(1)
+	}
+	l.flushedRecords.Add(int64(n))
+	l.opts.Events.Debug("audit_flush",
+		evlog.String("reason", reason),
+		evlog.Int("records", n),
+		evlog.Int("queue_depth", len(l.ch)))
+}
+
+// QueueDepth reports the entries currently enqueued and not yet
+// chained — how far the writer goroutine is behind its callers.
+func (l *AuditLog) QueueDepth() int { return len(l.ch) }
+
+// FlushStats is a point-in-time snapshot of the batching writer's
+// flush accounting: flushes split by trigger, plus the total records
+// those flushes pushed to the file.
+type FlushStats struct {
+	Batch          int64 // flushes triggered by FlushRecords accumulating
+	Interval       int64 // flushes triggered by the FlushInterval ticker
+	Close          int64 // the final drain flush (0 or 1)
+	FlushedRecords int64 // records covered by all flushes together
+}
+
+// FlushStats reports the log's flush counters. Ticker fires with
+// nothing pending are not counted — every counted flush moved bytes.
+func (l *AuditLog) FlushStats() FlushStats {
+	return FlushStats{
+		Batch:          l.flushBatch.Load(),
+		Interval:       l.flushInterval.Load(),
+		Close:          l.flushClose.Load(),
+		FlushedRecords: l.flushedRecords.Load(),
+	}
 }
 
 // ChainError reports the first record that fails verification.

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs/evlog"
 )
 
 func testEntry(i int) Entry {
@@ -293,5 +295,45 @@ func BenchmarkAuditAppend(b *testing.B) {
 	b.StopTimer()
 	if err := l.Close(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// TestAuditFlushStats: flushes are counted by trigger, flushed records
+// sum to the appends, queue depth drains to zero, and the Events logger
+// sees one audit_flush line per counted flush.
+func TestAuditFlushStats(t *testing.T) {
+	var events bytes.Buffer
+	path := filepath.Join(t.TempDir(), "audit.log")
+	l := openTestLog(t, path, AuditOptions{
+		FlushRecords:  4,
+		FlushInterval: time.Hour, // never fires: triggers under test are batch and close
+		Events:        evlog.New(&events, evlog.Options{}),
+	})
+	for i := 0; i < 10; i++ {
+		l.Append(testEntry(i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.FlushStats()
+	// 10 appends at batch size 4: two batch flushes, one close flush for
+	// the remaining 2.
+	if st.Batch != 2 || st.Interval != 0 || st.Close != 1 {
+		t.Errorf("FlushStats = %+v, want 2 batch + 1 close", st)
+	}
+	if st.FlushedRecords != 10 {
+		t.Errorf("FlushedRecords = %d, want 10", st.FlushedRecords)
+	}
+	if d := l.QueueDepth(); d != 0 {
+		t.Errorf("QueueDepth after Close = %d, want 0", d)
+	}
+	lines := strings.Count(events.String(), "event=audit_flush")
+	if lines != 3 {
+		t.Errorf("%d audit_flush events, want 3:\n%s", lines, events.String())
+	}
+	for _, want := range []string{`reason=batch`, `reason=close`, `records=4`, `records=2`} {
+		if !strings.Contains(events.String(), want) {
+			t.Errorf("events missing %q:\n%s", want, events.String())
+		}
 	}
 }

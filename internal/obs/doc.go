@@ -36,6 +36,18 @@
 // with tracing disabled — verify byte-for-byte under the current
 // verifier, and anchors captured from them stay valid.
 //
+// # Event log
+//
+// The obs/evlog subpackage is the structured event stream the serving
+// layer logs through: leveled, logfmt- or JSON-encoded events with
+// ordered key/value attributes and a trace_id field correlating each
+// event with /v1/traces. A nil *evlog.Logger is a no-op, so state
+// holders instrument unconditionally and the caller decides at wiring
+// time whether events flow. The AuditLog emits audit_flush events
+// (reason, record count, queue depth) through AuditOptions.Events, and
+// its FlushStats/QueueDepth accessors feed the
+// specserve_audit_queue_* exposition families.
+//
 // # Tracing
 //
 // The histograms above answer "how slow are requests like this"; the

@@ -69,6 +69,7 @@ type Collector struct {
 	serverErrs  atomic.Int64 // 5xx responses
 	ingests     atomic.Int64
 	computes    atomic.Int64
+	memoHits    atomic.Int64
 }
 
 // NewCollector returns an empty Collector.
@@ -159,6 +160,16 @@ func (c *Collector) ObserveCompute(name string, ns int64) {
 	c.stageHist(StageCompute).Observe(nsDuration(ns))
 }
 
+// ObserveMemoHit records one engine memo-cache hit, as reported by the
+// engine's Observer.Hit. With ObserveCompute counting the misses, the
+// pair yields the fleet-wide memo hit ratio — and, unlike per-engine
+// counters, survives engine eviction.
+func (c *Collector) ObserveMemoHit(name, params string) {
+	_ = name // labels a future per-analysis hit split
+	_ = params
+	c.memoHits.Add(1)
+}
+
 // Requests reports completed requests observed.
 func (c *Collector) Requests() int64 { return c.requests.Load() }
 
@@ -176,6 +187,9 @@ func (c *Collector) Ingests() int64 { return c.ingests.Load() }
 
 // Computes reports analysis computations observed.
 func (c *Collector) Computes() int64 { return c.computes.Load() }
+
+// MemoHits reports engine memo-cache hits observed.
+func (c *Collector) MemoHits() int64 { return c.memoHits.Load() }
 
 // StageSummary is one stage's aggregate for the JSON stats snapshot.
 type StageSummary struct {

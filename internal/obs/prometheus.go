@@ -36,6 +36,44 @@ type ServerGauges struct {
 	// records appended over the process lifetime.
 	AuditEnabled bool
 	AuditRecords int64
+
+	// Pool state-plane counters: requests that found a resident engine
+	// (hits) vs. ones that inserted a fresh entry (misses), single-flight
+	// joiners that waited on another request's build, and evictions split
+	// by reason. PoolEvictions above remains the LRU-only count /v1/stats
+	// has always reported; the labeled exposition below adds the failure
+	// drops.
+	PoolHits                  int64
+	PoolMisses                int64
+	PoolJoins                 int64
+	PoolEvictionsBuildFailed  int64
+	PoolEvictionsIngestFailed int64
+
+	// MemoRings carries the cluster package's bounded memo-ring counters,
+	// one row per ring, in the order the caller wants them exposed.
+	MemoRings []MemoRingGauge
+
+	// Gob parse-cache counters (process-wide, all CachedSource streams).
+	ParseCacheHits          int64
+	ParseCacheMisses        int64
+	ParseCacheInvalidations int64
+	ParseCachePrunes        int64
+
+	// Audit batching-writer introspection, gated by AuditEnabled.
+	AuditQueueDepth      int64
+	AuditFlushesBatch    int64
+	AuditFlushesInterval int64
+	AuditFlushesClose    int64
+	AuditFlushedRecords  int64
+}
+
+// MemoRingGauge is one memo ring's counters for the exposition, labeled
+// by ring name.
+type MemoRingGauge struct {
+	Ring      string
+	Hits      int64
+	Misses    int64
+	Evictions int64
 }
 
 // seconds renders nanoseconds as a decimal seconds literal, the unit
@@ -90,7 +128,33 @@ func (c *Collector) WritePrometheus(w io.Writer, g ServerGauges) {
 	counter("specserve_engine_builds_total", "Scope engines built over the server lifetime.", g.EngineBuilds)
 	counter("specserve_ingests_total", "Corpus ingestions completed (one per engine that streamed its source).", c.ingests.Load())
 	counter("specserve_computes_total", "Analysis computations executed (memo misses only).", c.computes.Load())
-	counter("specserve_pool_evictions_total", "Scope engines evicted past the LRU bound.", g.PoolEvictions)
+	writeHeader(w, "specserve_pool_evictions_total", "counter", "Scope engines evicted, by reason.")
+	fmt.Fprintf(w, "specserve_pool_evictions_total{reason=\"lru\"} %d\n", g.PoolEvictions)
+	fmt.Fprintf(w, "specserve_pool_evictions_total{reason=\"build_failed\"} %d\n", g.PoolEvictionsBuildFailed)
+	fmt.Fprintf(w, "specserve_pool_evictions_total{reason=\"ingestion_failed\"} %d\n", g.PoolEvictionsIngestFailed)
+	counter("specserve_pool_hits_total", "Requests that found their scope engine resident.", g.PoolHits)
+	counter("specserve_pool_misses_total", "Requests that inserted a fresh pool entry.", g.PoolMisses)
+	counter("specserve_pool_joins_total", "Requests that waited on another request's single-flight engine build.", g.PoolJoins)
+	counter("specserve_memo_hits_total", "Engine memo-cache hits (analysis requests that found an existing entry).", c.memoHits.Load())
+	counter("specserve_memo_misses_total", "Engine memo-cache misses; each miss is one analysis computation, so this equals specserve_computes_total.", c.computes.Load())
+	if len(g.MemoRings) > 0 {
+		writeHeader(w, "specserve_memo_ring_hits_total", "counter", "Bounded cluster memo-ring hits, by ring.")
+		for _, r := range g.MemoRings {
+			fmt.Fprintf(w, "specserve_memo_ring_hits_total{ring=%q} %d\n", escapeLabel(r.Ring), r.Hits)
+		}
+		writeHeader(w, "specserve_memo_ring_misses_total", "counter", "Bounded cluster memo-ring misses, by ring.")
+		for _, r := range g.MemoRings {
+			fmt.Fprintf(w, "specserve_memo_ring_misses_total{ring=%q} %d\n", escapeLabel(r.Ring), r.Misses)
+		}
+		writeHeader(w, "specserve_memo_ring_evictions_total", "counter", "Bounded cluster memo-ring slot evictions, by ring.")
+		for _, r := range g.MemoRings {
+			fmt.Fprintf(w, "specserve_memo_ring_evictions_total{ring=%q} %d\n", escapeLabel(r.Ring), r.Evictions)
+		}
+	}
+	counter("specserve_parse_cache_hits_total", "Gob parse-cache hits (size+mtime matched, parser skipped).", g.ParseCacheHits)
+	counter("specserve_parse_cache_misses_total", "Gob parse-cache misses (file absent from the cache).", g.ParseCacheMisses)
+	counter("specserve_parse_cache_invalidations_total", "Gob parse-cache entries invalidated by size or mtime change.", g.ParseCacheInvalidations)
+	counter("specserve_parse_cache_prunes_total", "Gob parse-cache entries pruned for deleted files.", g.ParseCachePrunes)
 	gauge("specserve_in_flight_requests", "Requests currently inside the concurrency gate.", strconv.FormatInt(g.InFlight, 10))
 	gauge("specserve_pool_engines", "Resident scope engines.", strconv.Itoa(g.PoolEngines))
 	gauge("specserve_pool_capacity", "Scope engine pool bound (resident engines never exceed this).", strconv.Itoa(g.PoolCapacity))
@@ -99,6 +163,12 @@ func (c *Collector) WritePrometheus(w io.Writer, g ServerGauges) {
 		strconv.FormatFloat(g.UptimeSeconds, 'f', 3, 64))
 	if g.AuditEnabled {
 		counter("specserve_audit_records_total", "Hash-chained audit records appended.", g.AuditRecords)
+		gauge("specserve_audit_queue_depth", "Audit entries enqueued and not yet chained by the writer goroutine.", strconv.FormatInt(g.AuditQueueDepth, 10))
+		writeHeader(w, "specserve_audit_queue_flushes_total", "counter", "Audit file flushes, by trigger.")
+		fmt.Fprintf(w, "specserve_audit_queue_flushes_total{reason=\"batch\"} %d\n", g.AuditFlushesBatch)
+		fmt.Fprintf(w, "specserve_audit_queue_flushes_total{reason=\"interval\"} %d\n", g.AuditFlushesInterval)
+		fmt.Fprintf(w, "specserve_audit_queue_flushes_total{reason=\"close\"} %d\n", g.AuditFlushesClose)
+		counter("specserve_audit_queue_flushed_records_total", "Audit records pushed to the file across all flushes.", g.AuditFlushedRecords)
 	}
 	if g.TraceCapacity > 0 {
 		counter("specserve_traces_recorded_total", "Request traces recorded (including ones overwritten in the ring).", g.TracesRecorded)

@@ -9,6 +9,7 @@
 //	GET /v1/analyses/{name}        one analysis result as {name, description, filter, params, value}
 //	GET /v1/report                 the full text report
 //	GET /v1/stats                  serving metrics (JSON; stage and per-analysis latency breakdowns)
+//	GET /v1/pool                   engine-pool introspection (resident scopes, cache counters)
 //	GET /v1/traces                 recent request traces (?n= count, ?min_ms= slow filter)
 //	GET /debug/pprof/              runtime profiles (Config.Pprof, loopback clients only)
 //
@@ -77,6 +78,25 @@
 // and per-analysis percentile summaries) and /metrics as Prometheus
 // text exposition (cumulative histograms and counters, plus a
 // specserve_runtime_* section sampled at scrape time).
+//
+// # Event log and pool introspection
+//
+// Config.Events (an obs/evlog.Logger) adds a structured event stream
+// alongside — or instead of — the Config.Logf line, which keeps its
+// historical one-line format byte-for-byte. Every request emits one
+// "request" event carrying method, path, status, status_class,
+// etag_revalidated, bytes, duration, and trace_id; the state plane
+// emits its own lifecycle: pool_build (with the single-flight join
+// count — how many requests waited on that one build), pool_evict with
+// a reason (lru, build_failed, ingestion_failed), and audit_flush.
+// The same instrumentation feeds counter families in /metrics
+// (specserve_pool_*, specserve_memo_*, specserve_parse_cache_*,
+// specserve_audit_queue_*) and GET /v1/pool, a deterministic snapshot
+// of the resident scope engines: canonical filter, corpus fingerprint,
+// age in requests, hit counts, memo occupancy, and approximate bytes,
+// sorted by filter and byte-identical across reads on a quiesced
+// server — the snapshot never touches the LRU order or any counter it
+// reports. cmd/spectop renders all three surfaces as a live dashboard.
 //
 // # Tracing
 //

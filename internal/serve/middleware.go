@@ -2,10 +2,12 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/evlog"
 )
 
 // statusWriter records the status and body size a handler produced, for
@@ -111,5 +113,41 @@ func (s *Server) withMetrics(next http.Handler) http.Handler {
 				r.Method, r.URL.RequestURI(), sw.status, sw.bytes,
 				dur.Round(time.Microsecond))
 		}
+		s.requestEvent(r, t, m, sw, dur)
 	})
+}
+
+// requestEvent emits the structured form of the request log line:
+// every response carries its trace id, and status_class /
+// etag_revalidated make error responses and 304 revalidations
+// grep-distinguishable from attributable 200s — the one-line text
+// format logs all of them with the same shape.
+func (s *Server) requestEvent(r *http.Request, t *tracer, m *obs.RequestMetrics, sw *statusWriter, dur time.Duration) {
+	if s.cfg.Events == nil {
+		return
+	}
+	attrs := []evlog.Attr{
+		evlog.String("method", r.Method),
+		evlog.String("path", r.URL.RequestURI()),
+		evlog.Int("status", sw.status),
+		evlog.String("status_class", fmt.Sprintf("%dxx", sw.status/100)),
+		evlog.Bool("etag_revalidated", sw.status == http.StatusNotModified),
+		evlog.Int64("bytes", sw.bytes),
+		evlog.Dur("dur", dur),
+		evlog.String("trace_id", t.id()),
+	}
+	if m.Analysis != "" {
+		attrs = append(attrs, evlog.String("analysis", m.Analysis))
+	}
+	if m.Params != "" {
+		attrs = append(attrs, evlog.String("params", m.Params))
+	}
+	level := evlog.Info
+	switch {
+	case sw.status >= 500:
+		level = evlog.Error
+	case sw.status >= 400:
+		level = evlog.Warn
+	}
+	s.cfg.Events.Log(level, "request", attrs...)
 }

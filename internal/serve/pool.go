@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/evlog"
 )
 
 // scope is one corpus slice a client can request: the canonical filter
@@ -61,6 +62,17 @@ type poolEntry struct {
 	eng         *core.Engine
 	fingerprint string
 	err         error
+
+	// born is the pool's get counter at insertion; age-in-requests is
+	// the counter's distance from it.
+	born int64
+	// hits counts requests that found this entry already resident.
+	hits atomic.Int64
+	// arrivals counts requests that reached the entry before its build
+	// finished — the single-flight cohort. The build winner reports
+	// joins = arrivals-1 (everyone but itself); built stops the count.
+	arrivals atomic.Int64
+	built    atomic.Bool
 }
 
 // enginePool maps canonical scopes to engines, LRU-bounded. Every
@@ -72,21 +84,31 @@ type enginePool struct {
 	workers int
 	max     int
 	metrics *obs.Collector
+	events  *evlog.Logger // nil = no event log
 
 	mu      sync.Mutex
 	lru     *list.List // of *poolEntry; front = most recently served
 	byScope map[string]*list.Element
 
 	builds    atomic.Int64
-	evictions atomic.Int64
+	evictions atomic.Int64 // LRU evictions only, the /v1/stats semantics
+
+	// state-plane counters for the exposition
+	gets              atomic.Int64 // every pool.get, the age-in-requests clock
+	hits              atomic.Int64 // gets that found the scope resident
+	misses            atomic.Int64 // gets that inserted a fresh entry
+	joins             atomic.Int64 // single-flight waiters across all builds
+	evictBuildFailed  atomic.Int64 // entries dropped because the build errored
+	evictIngestFailed atomic.Int64 // entries dropped after IngestionFailed
 }
 
-func newEnginePool(base core.Source, workers, max int, metrics *obs.Collector) *enginePool {
+func newEnginePool(base core.Source, workers, max int, metrics *obs.Collector, events *evlog.Logger) *enginePool {
 	return &enginePool{
 		base:    base,
 		workers: workers,
 		max:     max,
 		metrics: metrics,
+		events:  events,
 		lru:     list.New(),
 		byScope: map[string]*list.Element{},
 	}
@@ -101,16 +123,31 @@ func (p *enginePool) observer() core.Observer {
 		Compute: func(name, params string, d time.Duration, err error) {
 			p.metrics.ObserveCompute(name, d.Nanoseconds())
 		},
+		Hit: p.metrics.ObserveMemoHit,
 	}
 }
 
 // get returns the entry for sc, building it on first use. Only the
 // entry bookkeeping happens under the pool lock; the build itself runs
 // in the entry's once, so a slow ingestion never blocks requests for
-// other scopes.
-func (p *enginePool) get(sc scope) (*poolEntry, error) {
-	ent := p.entry(sc.expr)
+// other scopes. traceID labels the build events with the request that
+// triggered them ("" with tracing off).
+func (p *enginePool) get(sc scope, traceID string) (*poolEntry, error) {
+	p.gets.Add(1)
+	ent, fresh := p.entry(sc.expr)
+	if fresh {
+		p.misses.Add(1)
+	} else {
+		p.hits.Add(1)
+		ent.hits.Add(1)
+	}
+	if !ent.built.Load() {
+		ent.arrivals.Add(1)
+	}
 	ent.once.Do(func() {
+		p.events.Debug("pool_build_start",
+			evlog.String("scope", ent.scope),
+			evlog.String("trace_id", traceID))
 		start := time.Now()
 		src := p.source(sc)
 		fp, err := core.SourceFingerprint(src)
@@ -118,7 +155,7 @@ func (p *enginePool) get(sc scope) (*poolEntry, error) {
 			// Never cache a failed build: drop the entry so a transient
 			// problem (corpus dir mid-sync, say) is retried, not pinned.
 			ent.err = err
-			p.drop(ent)
+			p.dropReason(ent, "build_failed", traceID)
 			return
 		}
 		p.builds.Add(1)
@@ -127,7 +164,23 @@ func (p *enginePool) get(sc scope) (*poolEntry, error) {
 			core.WithObserver(p.observer()))
 		// The build stage covers fingerprinting plus construction;
 		// ingestion stays lazy and is timed by the engine itself.
-		p.metrics.ObserveBuild(time.Since(start).Nanoseconds())
+		dur := time.Since(start)
+		p.metrics.ObserveBuild(dur.Nanoseconds())
+		// Count the single-flight cohort before opening the fast path:
+		// requests arriving after built is set never bump arrivals, so
+		// the joins tally is exactly who waited on this build.
+		joins := ent.arrivals.Load() - 1
+		if joins < 0 {
+			joins = 0 // defensive: the winner itself always arrived
+		}
+		p.joins.Add(joins)
+		ent.built.Store(true)
+		p.events.Info("pool_build",
+			evlog.String("scope", ent.scope),
+			evlog.String("fingerprint", fp),
+			evlog.Int64("joins", joins),
+			evlog.Dur("dur", dur),
+			evlog.String("trace_id", traceID))
 	})
 	if ent.err != nil {
 		return nil, ent.err
@@ -145,34 +198,61 @@ func (p *enginePool) source(sc scope) core.Source {
 }
 
 // entry looks the scope up, inserting (and evicting beyond the LRU
-// bound) when missing. Served scopes move to the LRU front.
-func (p *enginePool) entry(key string) *poolEntry {
+// bound) when missing. Served scopes move to the LRU front. The bool
+// reports whether the entry was freshly inserted (a pool miss).
+func (p *enginePool) entry(key string) (*poolEntry, bool) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if el, ok := p.byScope[key]; ok {
 		p.lru.MoveToFront(el)
-		return el.Value.(*poolEntry)
+		p.mu.Unlock()
+		return el.Value.(*poolEntry), false
 	}
-	ent := &poolEntry{scope: key}
+	ent := &poolEntry{scope: key, born: p.gets.Load()}
 	p.byScope[key] = p.lru.PushFront(ent)
+	var evicted []string
 	for p.lru.Len() > p.max {
 		back := p.lru.Back()
 		p.lru.Remove(back)
 		delete(p.byScope, back.Value.(*poolEntry).scope)
 		p.evictions.Add(1)
+		evicted = append(evicted, back.Value.(*poolEntry).scope)
 	}
-	return ent
+	p.mu.Unlock()
+	for _, sc := range evicted {
+		p.events.Info("pool_evict",
+			evlog.String("scope", sc),
+			evlog.String("reason", "lru"))
+	}
+	return ent, true
 }
 
-// drop removes ent unless the scope has already been re-inserted by a
-// later request (then the newer entry stays).
-func (p *enginePool) drop(ent *poolEntry) {
+// dropReason removes ent — unless the scope has already been
+// re-inserted by a later request (then the newer entry stays) — and
+// attributes the removal: "build_failed" for a construction error,
+// "ingestion_failed" for a corpus that broke after construction. LRU
+// removals never come through here; entry() owns those.
+func (p *enginePool) dropReason(ent *poolEntry, reason, traceID string) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	removed := false
 	if el, ok := p.byScope[ent.scope]; ok && el.Value.(*poolEntry) == ent {
 		p.lru.Remove(el)
 		delete(p.byScope, ent.scope)
+		removed = true
 	}
+	p.mu.Unlock()
+	if !removed {
+		return
+	}
+	switch reason {
+	case "build_failed":
+		p.evictBuildFailed.Add(1)
+	case "ingestion_failed":
+		p.evictIngestFailed.Add(1)
+	}
+	p.events.Warn("pool_evict",
+		evlog.String("scope", ent.scope),
+		evlog.String("reason", reason),
+		evlog.String("trace_id", traceID))
 }
 
 // len reports the resident engine count.

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+)
+
+// Approximate per-item memory costs behind PoolScopeView.ApproxBytes.
+// These are deliberately rough, order-of-magnitude constants — a parsed
+// run is a small struct plus a dozen short strings, a memoized analysis
+// result a few KB of slices — documented so the estimate is at least
+// interpretable: bytes ≈ runs·1KiB + memo entries·8KiB.
+const (
+	approxRunBytes  = 1 << 10
+	approxMemoBytes = 8 << 10
+)
+
+// PoolScopeView is one resident scope engine as GET /v1/pool reports
+// it. All fields are monotone counters or stable identities, so on a
+// quiesced server repeated snapshots are byte-identical.
+type PoolScopeView struct {
+	// Filter is the canonical scope expression ("" = the whole corpus).
+	Filter string `json:"filter"`
+	// Fingerprint is the scope's corpus identity (empty while the entry
+	// is still building, or when its build failed and the drop raced).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Building marks an entry whose single-flight construction has not
+	// finished yet.
+	Building bool `json:"building,omitempty"`
+	// AgeRequests is how many pool lookups (across all scopes) have
+	// happened since this entry was inserted — request-counted age, not
+	// wall-clock, so the snapshot stays deterministic.
+	AgeRequests int64 `json:"age_requests"`
+	// Hits counts requests that found this entry already resident.
+	Hits int64 `json:"hits"`
+	// Runs is the ingested corpus size (0 until ingestion happens —
+	// engines ingest lazily on the first analysis).
+	Runs int `json:"runs"`
+	// MemoEntries / MemoHits / MemoMisses describe the engine's analysis
+	// memo cache.
+	MemoEntries int   `json:"memo_entries"`
+	MemoHits    int64 `json:"memo_hits"`
+	MemoMisses  int64 `json:"memo_misses"`
+	// ApproxBytes estimates resident memory (see the package constants).
+	ApproxBytes int64 `json:"approx_bytes"`
+}
+
+// PoolSnapshot is the GET /v1/pool response body.
+type PoolSnapshot struct {
+	// Capacity is the LRU bound; len(Engines) never exceeds it.
+	Capacity int `json:"capacity"`
+	// Engines lists the resident scopes, sorted by canonical filter.
+	Engines []PoolScopeView `json:"engines"`
+}
+
+// snapshot reads the resident entries without disturbing them: no LRU
+// movement, no counter bumps — introspection must not perturb the state
+// it reports, and /v1/pool must be byte-stable on a quiesced server.
+func (p *enginePool) snapshot() PoolSnapshot {
+	p.mu.Lock()
+	ents := make([]*poolEntry, 0, p.lru.Len())
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		ents = append(ents, el.Value.(*poolEntry))
+	}
+	p.mu.Unlock()
+	gets := p.gets.Load()
+
+	views := make([]PoolScopeView, 0, len(ents))
+	for _, ent := range ents {
+		v := PoolScopeView{
+			Filter:      ent.scope,
+			AgeRequests: gets - ent.born,
+			Hits:        ent.hits.Load(),
+		}
+		if !ent.built.Load() {
+			v.Building = true
+		} else {
+			v.Fingerprint = ent.fingerprint
+			ms := ent.eng.MemoStats()
+			v.MemoEntries = ms.Entries
+			v.MemoHits = ms.Hits
+			v.MemoMisses = ms.Misses
+			v.Runs = ent.eng.RunsIngested()
+			v.ApproxBytes = int64(v.Runs)*approxRunBytes + int64(v.MemoEntries)*approxMemoBytes
+		}
+		views = append(views, v)
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].Filter < views[j].Filter })
+	return PoolSnapshot{Capacity: p.max, Engines: views}
+}
+
+// handlePool serves the pool introspection snapshot. Reading it never
+// touches the pool's LRU order or counters, so polling dashboards do
+// not distort the state they watch.
+func (s *Server) handlePool(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, s.pool.snapshot())
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/evlog"
 	"repro/internal/obs/trace"
 	"repro/internal/synth"
 )
@@ -39,8 +40,17 @@ type Config struct {
 	// MaxInFlight bounds concurrently served requests (<=0 =
 	// DefaultMaxInFlight).
 	MaxInFlight int
-	// Logf, when non-nil, receives one line per request.
+	// Logf, when non-nil, receives one line per request in the legacy
+	// one-line text format (preserved byte-for-byte for existing
+	// log-scraping).
 	Logf func(format string, args ...any)
+	// Events, when non-nil, receives structured lifecycle events (see
+	// internal/obs/evlog): one "request" event per response carrying
+	// trace_id, status_class, and etag_revalidated, plus the state-plane
+	// events (pool builds and evictions, audit flushes when the audit
+	// log is wired to the same logger). Independent of Logf — a server
+	// can emit both, either, or neither.
+	Events *evlog.Logger
 	// Audit, when non-nil, receives one hash-chained provenance record
 	// per attributable 200 — analysis and report responses, whose bytes
 	// derive from a corpus state. Listings, health, stats, errors, and
@@ -90,7 +100,7 @@ func New(cfg Config) *Server {
 	metrics := obs.NewCollector()
 	s := &Server{
 		cfg:     cfg,
-		pool:    newEnginePool(cfg.Base, cfg.Workers, cfg.PoolSize, metrics),
+		pool:    newEnginePool(cfg.Base, cfg.Workers, cfg.PoolSize, metrics, cfg.Events),
 		gate:    make(chan struct{}, cfg.MaxInFlight),
 		started: time.Now(),
 		metrics: metrics,
@@ -110,6 +120,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/analyses/{name}", s.handleAnalysis)
 	mux.HandleFunc("GET /v1/report", s.handleReport)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/pool", s.handlePool)
 	if s.traces != nil {
 		mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	}
@@ -129,7 +140,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // the first unfiltered request after startup is served from memory
 // instead of paying for ingestion.
 func (s *Server) Warm() error {
-	ent, err := s.pool.get(scope{})
+	ent, err := s.pool.get(scope{}, "")
 	if err != nil {
 		return err
 	}
@@ -367,7 +378,7 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		root.SetAttr("filter", sc.expr)
 	}
 	poolStart := time.Now()
-	ent, err := s.pool.get(sc)
+	ent, err := s.pool.get(sc, t.id())
 	buildEnd := time.Now()
 	m.EngineBuildNs = buildEnd.Sub(poolStart).Nanoseconds()
 	bsp := root.ChildAt("build", poolStart)
@@ -395,7 +406,7 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		// replaying the memoized failure forever. An analysis that
 		// errors on a healthy corpus keeps its (cheap, memoized) entry.
 		if ent.eng.IngestionFailed() {
-			s.pool.drop(ent)
+			s.pool.dropReason(ent, "ingestion_failed", t.id())
 		}
 		// Parameter combinations the per-key validation cannot see
 		// (hac without k or cut, k beyond the scope's corpus) blame the
@@ -474,7 +485,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		root.SetAttr("filter", sc.expr)
 	}
 	poolStart := time.Now()
-	ent, err := s.pool.get(sc)
+	ent, err := s.pool.get(sc, t.id())
 	buildEnd := time.Now()
 	m.EngineBuildNs = buildEnd.Sub(poolStart).Nanoseconds()
 	bsp := root.ChildAt("build", poolStart)
@@ -505,7 +516,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	rsp.FinishAt(computeEnd)
 	if renderErr != nil {
 		if ent.eng.IngestionFailed() {
-			s.pool.drop(ent)
+			s.pool.dropReason(ent, "ingestion_failed", t.id())
 		}
 		httpError(w, http.StatusInternalServerError, renderErr.Error())
 		return

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -64,6 +66,12 @@ type StatsSnapshot struct {
 	EngineBuilds int64 `json:"engine_builds"`
 	// PoolEvictions counts scopes dropped past the LRU bound.
 	PoolEvictions int64 `json:"pool_evictions"`
+	// PoolHits counts requests that found their scope engine resident;
+	// PoolMisses ones that inserted a fresh pool entry; PoolJoins ones
+	// that waited on another request's single-flight build.
+	PoolHits   int64 `json:"pool_hits"`
+	PoolMisses int64 `json:"pool_misses"`
+	PoolJoins  int64 `json:"pool_joins"`
 	// Analyses is the registry size, read live so late registrations
 	// stay consistent with the /v1/analyses listing.
 	Analyses int `json:"analyses"`
@@ -106,6 +114,9 @@ func (s *Server) Stats() StatsSnapshot {
 		PoolCapacity:    s.pool.max,
 		EngineBuilds:    s.pool.builds.Load(),
 		PoolEvictions:   s.pool.evictions.Load(),
+		PoolHits:        s.pool.hits.Load(),
+		PoolMisses:      s.pool.misses.Load(),
+		PoolJoins:       s.pool.joins.Load(),
 		Analyses:        len(analysis.Names()),
 		Stages:          sum.Stages,
 		AnalysisLatency: sum.Analyses,
@@ -122,6 +133,8 @@ func (s *Server) Stats() StatsSnapshot {
 // gauges assembles the exposition's counter/gauge values from the same
 // sources Stats reads.
 func (s *Server) gauges() obs.ServerGauges {
+	rings := cluster.MemoRingCounters()
+	pc := core.ParseCacheCounters()
 	g := obs.ServerGauges{
 		Requests:      s.metrics.Requests(),
 		NotModified:   s.metrics.NotModified(),
@@ -135,10 +148,33 @@ func (s *Server) gauges() obs.ServerGauges {
 		PoolEvictions: s.pool.evictions.Load(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Analyses:      len(analysis.Names()),
+
+		PoolHits:                  s.pool.hits.Load(),
+		PoolMisses:                s.pool.misses.Load(),
+		PoolJoins:                 s.pool.joins.Load(),
+		PoolEvictionsBuildFailed:  s.pool.evictBuildFailed.Load(),
+		PoolEvictionsIngestFailed: s.pool.evictIngestFailed.Load(),
+
+		MemoRings: []obs.MemoRingGauge{
+			{Ring: "partition", Hits: rings.Partition.Hits,
+				Misses: rings.Partition.Misses, Evictions: rings.Partition.Evictions},
+			{Ring: "sweep", Hits: rings.Sweep.Hits,
+				Misses: rings.Sweep.Misses, Evictions: rings.Sweep.Evictions},
+		},
+		ParseCacheHits:          pc.Hits,
+		ParseCacheMisses:        pc.Misses,
+		ParseCacheInvalidations: pc.Invalidations,
+		ParseCachePrunes:        pc.Prunes,
 	}
 	if s.audit != nil {
 		g.AuditEnabled = true
 		g.AuditRecords = s.audit.Records()
+		g.AuditQueueDepth = int64(s.audit.QueueDepth())
+		fs := s.audit.FlushStats()
+		g.AuditFlushesBatch = fs.Batch
+		g.AuditFlushesInterval = fs.Interval
+		g.AuditFlushesClose = fs.Close
+		g.AuditFlushedRecords = fs.FlushedRecords
 	}
 	if s.traces != nil {
 		g.TraceCapacity = s.traces.Capacity()
