@@ -20,7 +20,11 @@
 // clustering RNG, and -k 0 auto-selects k by the best silhouette over
 // k = 2…8. "hac" is hierarchical agglomerative clustering under
 // -linkage single/complete/average; cut the dendrogram either at -k
-// clusters or at the -cut distance threshold. -features restricts the
+// clusters or at the -cut distance threshold. "minibatch" is seeded
+// mini-batch k-means (-batch sets the sample size) — the online
+// variant the live serving path warm-starts across appends; from the
+// CLI it behaves like kmeans with stochastic batched updates, still
+// deterministic for a fixed -seed. -features restricts the
 // standardized feature vector; -sweep prints the elbow sweep
 // (within-cluster SSE + silhouette per k); -json emits everything
 // machine-readable, including per-run assignments.
@@ -76,9 +80,10 @@ func main() {
 	log.SetPrefix("speccluster: ")
 	corpus := cliutil.RegisterCorpusFlags(flag.CommandLine)
 	k := flag.Int("k", 0, "cluster count (0 = auto-select by silhouette over k = 2…8; hac requires -k or -cut)")
-	algo := flag.String("algo", "kmeans", "clustering algorithm: kmeans or hac")
+	algo := flag.String("algo", "kmeans", "clustering algorithm: kmeans, hac, or minibatch")
 	linkage := flag.String("linkage", "average", "hac linkage: single, complete, or average")
 	cut := flag.Float64("cut", 0, "hac dendrogram distance threshold (overrides -k)")
+	batch := flag.Int("batch", 128, "minibatch sample size per iteration")
 	features := flag.String("features", "",
 		"comma-separated feature subset (default all: "+strings.Join(cluster.FeatureNames(), ",")+")")
 	sweep := flag.Bool("sweep", false, "also compute the k sweep (SSE + silhouette, k = 2…8)")
@@ -97,6 +102,7 @@ func main() {
 		"algo":     *algo,
 		"linkage":  *linkage,
 		"cut":      strconv.FormatFloat(*cut, 'g', -1, 64),
+		"batch":    strconv.Itoa(*batch),
 		"seed":     strconv.FormatInt(corpus.Seed, 10),
 		"features": *features,
 	}
@@ -107,7 +113,7 @@ func main() {
 	// The sweep rides along whenever it informed the partition: asked
 	// for explicitly, or implicitly behind auto-k — matching the JSON
 	// document this command has always emitted in its default mode.
-	needSweep := *sweep || (*algo == "kmeans" && *k == 0)
+	needSweep := *sweep || (*algo != "hac" && *k == 0)
 	if needSweep {
 		reqs = append(reqs, resolve("cluster-sweep", map[string]string{
 			"seed":     raw["seed"],

@@ -10,6 +10,7 @@
 //	GET /v1/stats                     serving metrics (JSON, stage/analysis latency breakdowns)
 //	GET /v1/pool                      engine-pool introspection (resident scopes, cache counters)
 //	GET /v1/traces                    recent request traces (?n= count, ?min_ms= slow filter)
+//	POST /v1/runs                     append one result file to the live corpus (-live/-watch only)
 //	GET /debug/pprof/                 runtime profiles (-pprof only, loopback clients only)
 //
 // Each distinct ?filter= scope gets its own lazily built, memoized
@@ -36,10 +37,24 @@
 // line per request slower than D carrying its trace id. -pprof
 // additionally mounts net/http/pprof for loopback clients.
 //
+// With -live, the corpus becomes appendable while serving: POST
+// /v1/runs takes one result-file body, folds the parsed run into every
+// resident scope engine through the delta path (no rebuilds), and
+// bumps the corpus generation — every scope's ETag rolls exactly then,
+// so clients revalidating with If-None-Match see 304s until the corpus
+// actually grows and a full 200 immediately after. -watch additionally
+// polls the directory -in corpora (every -watch-interval): new result
+// files are absorbed like POSTed runs, while modified or deleted files
+// — changes an append cannot express — reset the engine pool so every
+// scope rebuilds from the changed directory. Generation and append
+// counters surface in /v1/stats, /v1/pool, and /metrics
+// (specserve_generation, specserve_appends_total).
+//
 // Usage:
 //
 //	specserve [-addr :8080] [-in corpus/]... [-cache] [-workers 8]
 //	          [-filter expr] [-pool 32] [-max-inflight 64] [-warm]
+//	          [-live] [-watch] [-watch-interval 2s]
 //	          [-audit audit.log] [-trace-buf 256] [-trace-slow 500ms]
 //	          [-pprof] [-log-format text|logfmt|json]
 //
@@ -63,10 +78,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/obs/evlog"
 	"repro/internal/serve"
@@ -79,6 +98,9 @@ func main() {
 	pool := flag.Int("pool", serve.DefaultPoolSize, "max resident scope engines (LRU-evicted beyond)")
 	inflight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "max concurrently served requests")
 	warm := flag.Bool("warm", false, "ingest the whole-corpus scope before accepting traffic")
+	liveOn := flag.Bool("live", false, "enable live ingestion: POST /v1/runs appends result files to the corpus")
+	watch := flag.Bool("watch", false, "poll directory -in corpora for new result files and absorb them (implies -live)")
+	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll cadence for -watch")
 	auditPath := flag.String("audit", "", "append hash-chained audit records to this file (verify with specaudit)")
 	traceBuf := flag.Int("trace-buf", serve.DefaultTraceBuffer, "completed request traces kept for /v1/traces (0 disables tracing)")
 	traceSlow := flag.Duration("trace-slow", 0, "log requests slower than this duration with their trace id (0 disables)")
@@ -110,6 +132,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	watchDirs := corpus.Dirs()
+	if *watch && len(watchDirs) == 0 {
+		log.Fatal("-watch needs at least one directory -in to poll")
+	}
 	var audit *obs.AuditLog
 	if *auditPath != "" {
 		audit, err = obs.OpenAuditLog(*auditPath, obs.AuditOptions{Events: events})
@@ -130,6 +156,7 @@ func main() {
 	}
 	srv := serve.New(serve.Config{
 		Base:            src,
+		Live:            *liveOn || *watch,
 		Workers:         corpus.Workers,
 		PoolSize:        *pool,
 		MaxInFlight:     *inflight,
@@ -151,6 +178,60 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *watch {
+		// The watcher polls the directory corpora on a real ticker (the
+		// injectable clock stays inside internal/live for tests) and
+		// routes each delta through the cheapest absorption the serving
+		// layer offers: pure growth goes down the append path — warm
+		// engines fold the new runs in without a rebuild — while rewrites
+		// and deletions, which the delta path cannot express, reset the
+		// pool so every scope rebuilds against the changed directory.
+		w := live.NewWatcher(watchDirs...)
+		if err := w.Baseline(); err != nil {
+			log.Fatal(err)
+		}
+		ticker := time.NewTicker(*watchInterval)
+		defer ticker.Stop()
+		runner := &live.Runner{
+			W:     w,
+			Ticks: ticker.C,
+			OnDelta: func(d live.Delta) {
+				if len(d.Modified) > 0 || len(d.Removed) > 0 {
+					dropped, err := srv.ResetPool("watch_rewrite")
+					if err != nil {
+						log.Printf("watch: reset: %v", err)
+						return
+					}
+					log.Printf("watch: corpus rewritten (%d modified, %d removed); pool reset, %d engines dropped",
+						len(d.Modified), len(d.Removed), dropped)
+					return
+				}
+				runs := make([]*model.Run, 0, len(d.Added))
+				for _, path := range d.Added { // sorted: absorption order is deterministic
+					run, err := core.ParseResultFile(path)
+					if err != nil {
+						log.Printf("watch: %v", err)
+						continue
+					}
+					runs = append(runs, run)
+				}
+				if len(runs) == 0 {
+					return
+				}
+				gen, err := srv.AbsorbBaseGrowth(runs...)
+				if err != nil {
+					log.Printf("watch: absorb: %v", err)
+					return
+				}
+				log.Printf("watch: absorbed %d new result file(s), generation %d", len(runs), gen)
+			},
+			OnError: func(err error) { log.Printf("watch: %v", err) },
+		}
+		go runner.Run(ctx)
+		log.Printf("watching %s every %s", strings.Join(watchDirs, ", "), *watchInterval)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("serving %s on %s", src.Name(), *addr)

@@ -190,25 +190,30 @@ func render(w io.Writer, addr string, s *snapshot) {
 		st.PoolEngines, st.PoolCapacity, st.EngineBuilds,
 		st.PoolHits, st.PoolMisses, st.PoolJoins,
 		strings.TrimSpace(ratio(float64(st.PoolHits), float64(st.PoolMisses))))
-	fmt.Fprintf(w, "evictions  lru %.0f   build_failed %.0f   ingestion_failed %.0f\n\n",
+	fmt.Fprintf(w, "evictions  lru %.0f   build_failed %.0f   ingestion_failed %.0f\n",
 		mx[`specserve_pool_evictions_total{reason="lru"}`],
 		mx[`specserve_pool_evictions_total{reason="build_failed"}`],
 		mx[`specserve_pool_evictions_total{reason="ingestion_failed"}`])
+	if st.Live != nil {
+		fmt.Fprintf(w, "live       generation %-6d appends %-6d appended runs %d\n",
+			st.Live.Generation, st.Live.Appends, st.Live.AppendedRuns)
+	}
+	fmt.Fprintln(w)
 
-	fmt.Fprintf(w, "%-28s %-12s %6s %6s %7s %6s %9s %10s\n",
-		"POOL SCOPE", "FPRINT", "AGE", "HITS", "RUNS", "MEMOS", "MEMO H/M", "~BYTES")
+	fmt.Fprintf(w, "%-28s %-12s %4s %6s %6s %7s %6s %9s %10s\n",
+		"POOL SCOPE", "FPRINT", "GEN", "AGE", "HITS", "RUNS", "MEMOS", "MEMO H/M", "~BYTES")
 	for _, e := range s.pool.Engines { // server-sorted by canonical filter
 		name := e.Filter
 		if name == "" {
 			name = "(all)"
 		}
 		if e.Building {
-			fmt.Fprintf(w, "%-28s %-12s %6d %6d %s\n",
-				name, "building…", e.AgeRequests, e.Hits, "")
+			fmt.Fprintf(w, "%-28s %-12s %4s %6d %6d %s\n",
+				name, "building…", "-", e.AgeRequests, e.Hits, "")
 			continue
 		}
-		fmt.Fprintf(w, "%-28s %-12s %6d %6d %7d %6d %4d/%-4d %10s\n",
-			name, shortFp(e.Fingerprint), e.AgeRequests, e.Hits, e.Runs,
+		fmt.Fprintf(w, "%-28s %-12s %4d %6d %6d %7d %6d %4d/%-4d %10s\n",
+			name, shortFp(e.Fingerprint), e.Generation, e.AgeRequests, e.Hits, e.RunsIngested,
 			e.MemoEntries, e.MemoHits, e.MemoMisses, approxSize(e.ApproxBytes))
 	}
 	if len(s.pool.Engines) == 0 {

@@ -97,6 +97,10 @@ type Dataset struct {
 	// id anchors the dataset's cache identity across the shallow copies
 	// WithKernel makes; see CacheKey.
 	id *datasetID
+	// prev is the cache identity of the snapshot this dataset extends
+	// (nil for a first snapshot or a literally constructed dataset);
+	// see PrevCacheKey.
+	prev *datasetID
 }
 
 type datasetID struct{ _ byte }
@@ -111,6 +115,17 @@ func (d *Dataset) CacheKey() any {
 		return d
 	}
 	return d.id
+}
+
+// PrevCacheKey returns the cache identity of the snapshot this dataset
+// was appended onto, or nil when there is none. Warm-startable kernels
+// (mini-batch k-means) use it to find state computed against the
+// previous corpus generation.
+func (d *Dataset) PrevCacheKey() any {
+	if d.prev == nil {
+		return nil
+	}
+	return d.prev
 }
 
 // WithKernel returns a shallow copy of the dataset with the kernel

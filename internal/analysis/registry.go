@@ -18,6 +18,51 @@ type Func func(*Dataset, Params) (any, error)
 // had before the registry grew typed parameters. Register adapts it.
 type SimpleFunc func(*Dataset) (any, error)
 
+// Input classifies which pipeline stage of the corpus an analysis
+// reads. It is the granularity of delta-aware memo invalidation: when
+// runs are appended, an engine drops exactly the memos whose declared
+// input stage gained rows and keeps the rest warm. The zero value
+// (InputRaw) is the conservative default — affected by every append.
+type Input int8
+
+const (
+	// InputRaw marks an analysis that reads every delivered run (the
+	// funnel itself). Any append invalidates it.
+	InputRaw Input = iota
+	// InputParsed marks an analysis over the parse-consistent set;
+	// appends rejected at the parse stage leave it untouched.
+	InputParsed
+	// InputComparable marks an analysis over the comparable set; only
+	// appends that survive both filter stages invalidate it.
+	InputComparable
+	// InputNone marks an analysis that reads no corpus at all (static
+	// tables). Appends never invalidate it.
+	InputNone
+)
+
+// String names the stage for events and error messages.
+func (in Input) String() string {
+	switch in {
+	case InputParsed:
+		return "parsed"
+	case InputComparable:
+		return "comparable"
+	case InputNone:
+		return "none"
+	default:
+		return "raw"
+	}
+}
+
+// RegOption customizes a registration at Register time.
+type RegOption func(*Registration)
+
+// Reads declares the pipeline stage the analysis consumes, so appends
+// that never reach that stage keep its memos warm; see Input.
+func Reads(in Input) RegOption {
+	return func(r *Registration) { r.Input = in }
+}
+
 // Registration describes one entry of the analysis registry.
 type Registration struct {
 	Name        string
@@ -33,6 +78,11 @@ type Registration struct {
 	// skip ingestion entirely when computing it and pass Func a nil
 	// Dataset.
 	Static bool
+
+	// Input is the pipeline stage the analysis reads, declared with
+	// Reads and consumed by the engine's delta-aware memo invalidation.
+	// Static registrations are always InputNone.
+	Input Input
 
 	// defaults is the schema's all-default bag, resolved once at
 	// registration so by-name requests on hot serving paths don't
@@ -56,7 +106,7 @@ var registry = struct {
 // memoize their results per engine. Register panics on a duplicate
 // name: names are package-level API and collisions are programming
 // errors, caught at init time.
-func Register(name, description string, fn SimpleFunc) {
+func Register(name, description string, fn SimpleFunc, opts ...RegOption) {
 	if fn == nil {
 		panic("analysis: Register requires a func")
 	}
@@ -64,20 +114,20 @@ func Register(name, description string, fn SimpleFunc) {
 		Name:        name,
 		Description: description,
 		Func:        func(ds *Dataset, _ Params) (any, error) { return fn(ds) },
-	})
+	}, opts...)
 }
 
 // RegisterParams adds an analysis with declared typed parameters. The
 // schema's defaults must be self-consistent: register resolves them,
 // so a registration whose defaults fail their own validation panics at
 // init time instead of erroring on the first request.
-func RegisterParams(name, description string, schema Schema, fn Func) {
+func RegisterParams(name, description string, schema Schema, fn Func, opts ...RegOption) {
 	register(Registration{
 		Name:        name,
 		Description: description,
 		Func:        fn,
 		Params:      schema,
-	})
+	}, opts...)
 }
 
 // RegisterStatic adds a named analysis that does not depend on the
@@ -92,9 +142,17 @@ func RegisterStatic(name, description string, fn func() (any, error)) {
 	})
 }
 
-func register(reg Registration) {
+func register(reg Registration, opts ...RegOption) {
 	if reg.Name == "" || reg.Func == nil {
 		panic("analysis: Register requires a name and a func")
+	}
+	for _, opt := range opts {
+		opt(&reg)
+	}
+	if reg.Static {
+		// A static analysis reads no corpus by definition; a conflicting
+		// Reads declaration would silently disable memo retention.
+		reg.Input = InputNone
 	}
 	reg.defaults = reg.Params.Defaults() // panics on self-invalid defaults
 
@@ -137,35 +195,51 @@ func SortedNames() []string {
 // name always means the same computation.
 func init() {
 	Register("funnel", "Section II filter funnel (1017 → 960 → 676)",
-		func(ds *Dataset) (any, error) { return ds.Funnel, nil })
+		func(ds *Dataset) (any, error) { return ds.Funnel, nil },
+		Reads(InputRaw))
 	Register("fig1", "Figure 1: corpus composition by year (OS, vendor, sockets, nodes)",
-		func(ds *Dataset) (any, error) { return Fig1Shares(ds.Parsed), nil })
+		func(ds *Dataset) (any, error) { return Fig1Shares(ds.Parsed), nil },
+		Reads(InputParsed))
 	Register("fig2", "Figure 2: power per socket at full load (W)",
-		func(ds *Dataset) (any, error) { return Fig2PowerPerSocket(ds.Comparable), nil })
+		func(ds *Dataset) (any, error) { return Fig2PowerPerSocket(ds.Comparable), nil },
+		Reads(InputComparable))
 	Register("fig3", "Figure 3: overall efficiency (ssj_ops/W)",
-		func(ds *Dataset) (any, error) { return Fig3OverallEfficiency(ds.Comparable), nil })
+		func(ds *Dataset) (any, error) { return Fig3OverallEfficiency(ds.Comparable), nil },
+		Reads(InputComparable))
 	Register("fig4", "Figure 4: relative efficiency at 60-90% load by vendor and year",
-		func(ds *Dataset) (any, error) { return Fig4RelativeEfficiency(ds.Comparable), nil })
+		func(ds *Dataset) (any, error) { return Fig4RelativeEfficiency(ds.Comparable), nil },
+		Reads(InputComparable))
 	Register("fig5", "Figure 5: idle power / full load power",
-		func(ds *Dataset) (any, error) { return Fig5IdleFraction(ds.Comparable), nil })
+		func(ds *Dataset) (any, error) { return Fig5IdleFraction(ds.Comparable), nil },
+		Reads(InputComparable))
 	Register("fig6", "Figure 6: extrapolated idle quotient",
-		func(ds *Dataset) (any, error) { return Fig6IdleQuotient(ds.Comparable), nil })
+		func(ds *Dataset) (any, error) { return Fig6IdleQuotient(ds.Comparable), nil },
+		Reads(InputComparable))
 	Register("submissions", "S2: submission rates and OS/vendor share shifts",
-		func(ds *Dataset) (any, error) { return SubmissionTrends(ds.Parsed), nil })
+		func(ds *Dataset) (any, error) { return SubmissionTrends(ds.Parsed), nil },
+		Reads(InputParsed))
 	Register("growth", "S3: full-load power growth, early vs late era",
-		func(ds *Dataset) (any, error) { return PowerGrowth(ds.Comparable), nil })
+		func(ds *Dataset) (any, error) { return PowerGrowth(ds.Comparable), nil },
+		Reads(InputComparable))
 	Register("top100", "S4: vendor composition of the 100 most efficient runs",
-		func(ds *Dataset) (any, error) { return TopEfficient(ds.Comparable, 100), nil })
+		func(ds *Dataset) (any, error) { return TopEfficient(ds.Comparable, 100), nil },
+		Reads(InputComparable))
 	Register("idlehistory", "S5: idle-fraction history (first / minimum / last year)",
-		func(ds *Dataset) (any, error) { return IdleFractionHistory(ds.Comparable, 5), nil })
+		func(ds *Dataset) (any, error) { return IdleFractionHistory(ds.Comparable, 5), nil },
+		Reads(InputComparable))
 	Register("features", "S6: per-vendor feature comparison since 2021",
-		func(ds *Dataset) (any, error) { return RecentFeatures(ds.Comparable, 2021), nil })
+		func(ds *Dataset) (any, error) { return RecentFeatures(ds.Comparable, 2021), nil },
+		Reads(InputComparable))
 	Register("trends", "Mann-Kendall + Theil-Sen trend tests behind the conclusions",
-		func(ds *Dataset) (any, error) { return PaperTrends(ds.Comparable, 0.10, ds.Workers) })
+		func(ds *Dataset) (any, error) { return PaperTrends(ds.Comparable, 0.10, ds.Workers) },
+		Reads(InputComparable))
 	Register("ep", "energy proportionality score by year",
-		func(ds *Dataset) (any, error) { return EPByYear(ds.Comparable), nil })
+		func(ds *Dataset) (any, error) { return EPByYear(ds.Comparable), nil },
+		Reads(InputComparable))
 	Register("confound", "pooled vs within-vendor correlations since 2021",
-		func(ds *Dataset) (any, error) { return ConfoundingScan(ds.Comparable, 2021), nil })
+		func(ds *Dataset) (any, error) { return ConfoundingScan(ds.Comparable, 2021), nil },
+		Reads(InputComparable))
 	Register("changepoint", "Pettitt changepoint of the idle-fraction history",
-		func(ds *Dataset) (any, error) { return IdleFractionChangepoint(ds.Comparable, 5, 0.05) })
+		func(ds *Dataset) (any, error) { return IdleFractionChangepoint(ds.Comparable, 5, 0.05) },
+		Reads(InputComparable))
 }

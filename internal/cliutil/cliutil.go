@@ -101,6 +101,20 @@ func (c *CorpusFlags) Source() (core.Source, error) {
 	return src, nil
 }
 
+// Dirs returns the -in values that name corpus directories —
+// synth:<seed> specs excluded — in flag order. This is the set a live
+// watcher (specserve -watch) can poll for new result files; an empty
+// result means the corpus has no on-disk component to watch.
+func (c *CorpusFlags) Dirs() []string {
+	var dirs []string
+	for _, in := range c.Ins {
+		if !strings.HasPrefix(in, "synth:") {
+			dirs = append(dirs, in)
+		}
+	}
+	return dirs
+}
+
 // ParamFlags collects repeatable -p name.key=value analysis-parameter
 // assignments, grouped by analysis name. The assignments resolve
 // against each analysis's declared schema (analysis.Registration

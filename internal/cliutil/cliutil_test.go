@@ -186,3 +186,18 @@ func TestParamFlagsRequestsErrors(t *testing.T) {
 		t.Error("unregistered analysis with params should fail")
 	}
 }
+
+func TestDirsFiltersSynthSpecs(t *testing.T) {
+	c := parse(t, "-in", "a/", "-in", "synth:7", "-in", "b/")
+	got := c.Dirs()
+	want := []string{"a/", "b/"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("Dirs() = %v, want %v", got, want)
+	}
+	if d := parse(t, "-in", "synth:7").Dirs(); len(d) != 0 {
+		t.Errorf("Dirs() over pure synth = %v, want empty", d)
+	}
+	if d := parse(t).Dirs(); len(d) != 0 {
+		t.Errorf("Dirs() with no -in = %v, want empty", d)
+	}
+}

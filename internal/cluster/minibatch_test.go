@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMiniBatchSeparatesBlobs(t *testing.T) {
+	m, err := Extract(twoBlobs(6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MiniBatch(m, MiniBatchOptions{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 || len(res.Labels) != len(m.Rows) {
+		t.Fatalf("K = %d, %d labels for %d rows", res.K, len(res.Labels), len(m.Rows))
+	}
+	if res.WarmStarted {
+		t.Error("cold run reported WarmStarted")
+	}
+	// The two blobs are far apart: every "small" run must share a label,
+	// and every "big" run the other one.
+	half := len(m.Rows) / 2
+	for i := 1; i < half; i++ {
+		if res.Labels[i] != res.Labels[0] {
+			t.Fatalf("small blob split: labels %v", res.Labels)
+		}
+	}
+	for i := half + 1; i < len(m.Rows); i++ {
+		if res.Labels[i] != res.Labels[half] {
+			t.Fatalf("big blob split: labels %v", res.Labels)
+		}
+	}
+	if res.Labels[0] == res.Labels[half] {
+		t.Fatalf("blobs merged: labels %v", res.Labels)
+	}
+}
+
+// TestMiniBatchDeterministic: equal (matrix, options) tuples produce
+// identical results — including across worker counts, which only
+// parallelize the final assignment pass.
+func TestMiniBatchDeterministic(t *testing.T) {
+	m, err := Extract(twoBlobs(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MiniBatch(m, MiniBatchOptions{K: 3, Seed: 42, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		got, err := MiniBatch(m, MiniBatchOptions{K: 3, Seed: 42, BatchSize: 16, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers = %d diverged:\n%+v\nvs\n%+v", workers, got, base)
+		}
+	}
+	// A different seed is allowed to differ; assert only that the run
+	// still terminates with a full labeling.
+	other, err := MiniBatch(m, MiniBatchOptions{K: 3, Seed: 43, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(other.Labels) != len(m.Rows) {
+		t.Fatalf("seed 43: %d labels", len(other.Labels))
+	}
+}
+
+// TestMiniBatchWarmStart: a successor run accepts matching online state,
+// stays deterministic, and keeps the warm input intact (the state is
+// copied, never mutated in place).
+func TestMiniBatchWarmStart(t *testing.T) {
+	m, err := Extract(twoBlobs(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := MiniBatch(m, MiniBatchOptions{K: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	centsBefore := make([][]float64, len(cold.Centroids))
+	for i, c := range cold.Centroids {
+		centsBefore[i] = cloneRow(c)
+	}
+	warmOpt := MiniBatchOptions{K: 2, Seed: 7,
+		InitCentroids: cold.Centroids, InitCounts: cold.Counts}
+	warm1, err := MiniBatch(m, warmOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm1.WarmStarted {
+		t.Fatal("matching init state rejected")
+	}
+	warm2, err := MiniBatch(m, warmOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm1, warm2) {
+		t.Error("warm-started run not deterministic")
+	}
+	if !reflect.DeepEqual(cold.Centroids, centsBefore) {
+		t.Error("warm start mutated the caller's init centroids")
+	}
+	// Warm-starting on the same data continues a converged state: the
+	// partition must be the cold one.
+	if !reflect.DeepEqual(warm1.Labels, cold.Labels) {
+		t.Errorf("warm labels %v diverged from cold %v", warm1.Labels, cold.Labels)
+	}
+}
+
+// TestMiniBatchWarmStartShapeMismatch: init state that no longer fits —
+// wrong k, wrong dimensionality, missing counts — degrades to a cold
+// seed instead of erroring.
+func TestMiniBatchWarmStartShapeMismatch(t *testing.T) {
+	m, err := Extract(twoBlobs(6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := MiniBatch(m, MiniBatchOptions{K: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]MiniBatchOptions{
+		"wrong k": {K: 3, Seed: 7,
+			InitCentroids: cold.Centroids, InitCounts: cold.Counts},
+		"missing counts": {K: 2, Seed: 7, InitCentroids: cold.Centroids},
+		"wrong dim": {K: 2, Seed: 7,
+			InitCentroids: [][]float64{{1}, {2}}, InitCounts: cold.Counts},
+	}
+	for name, opt := range cases {
+		res, err := MiniBatch(m, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.WarmStarted {
+			t.Errorf("%s: mismatched init state accepted", name)
+		}
+		// The fallback is exactly the cold path for the same k/seed.
+		if opt.K == 2 && !reflect.DeepEqual(res.Labels, cold.Labels) {
+			t.Errorf("%s: fallback diverged from cold run", name)
+		}
+	}
+}
+
+func TestMiniBatchBounds(t *testing.T) {
+	m := matrixOf([]float64{0, 0}, []float64{1, 1})
+	if _, err := MiniBatch(m, MiniBatchOptions{K: 0, Seed: 1}); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, err := MiniBatch(m, MiniBatchOptions{K: 3, Seed: 1}); err == nil {
+		t.Error("k > rows accepted")
+	}
+	res, err := MiniBatch(m, MiniBatchOptions{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[0] == res.Labels[1] {
+		t.Error("k = n left two rows in one cluster")
+	}
+}
+
+// TestMiniBatchObserver: the iteration callback sees every batch and
+// the convergence flag on the final one.
+func TestMiniBatchObserver(t *testing.T) {
+	m, err := Extract(twoBlobs(6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iters []int
+	var sawConverged bool
+	res, err := MiniBatch(m, MiniBatchOptions{K: 2, Seed: 3,
+		OnIteration: func(iter, moved int, converged bool) {
+			iters = append(iters, iter)
+			sawConverged = sawConverged || converged
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != res.Iterations {
+		t.Fatalf("observer saw %d iterations, result reports %d", len(iters), res.Iterations)
+	}
+	for i, it := range iters {
+		if it != i+1 {
+			t.Fatalf("iteration numbers not 1-based sequential: %v", iters)
+		}
+	}
+	if res.Converged && !sawConverged {
+		t.Error("converged run never reported converged=true to the observer")
+	}
+}

@@ -139,8 +139,11 @@ func partitionSchema() analysis.Schema {
 		{Name: "k", Kind: analysis.KindInt, Default: 0,
 			Description: "cluster count (0 = auto-select by silhouette over kmin…kmax)",
 			Validate:    intAtLeast(0)},
-		{Name: "algo", Kind: analysis.KindEnum, Enum: []string{"kmeans", "hac"},
+		{Name: "algo", Kind: analysis.KindEnum, Enum: []string{"kmeans", "hac", "minibatch"},
 			Default: "kmeans", Description: "clustering algorithm"},
+		{Name: "batch", Kind: analysis.KindInt, Default: 128,
+			Description: "minibatch rows sampled per iteration",
+			Validate:    intAtLeast(1)},
 		{Name: "linkage", Kind: analysis.KindEnum,
 			Enum:    []string{"average", "single", "complete"},
 			Default: "average", Description: "hac cluster-distance criterion"},
@@ -197,13 +200,22 @@ type memoEntry[T any] struct {
 }
 
 func (r *memoRing[T]) get(ds *analysis.Dataset, key string) (T, bool) {
-	id := ds.CacheKey()
+	return r.getByID(ds.CacheKey(), key)
+}
+
+// getByID is get keyed by a raw cache identity, for callers holding a
+// dataset lineage key rather than the dataset itself (the mini-batch
+// warm-start path). A nil id — a dataset with no predecessor — is
+// always a miss: empty ring slots must never match it.
+func (r *memoRing[T]) getByID(id any, key string) (T, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, e := range r.entries {
-		if e.ds == id && e.key == key {
-			r.hits++
-			return e.val, true
+	if id != nil {
+		for _, e := range r.entries {
+			if e.ds == id && e.key == key {
+				r.hits++
+				return e.val, true
+			}
 		}
 	}
 	r.misses++
@@ -212,11 +224,15 @@ func (r *memoRing[T]) get(ds *analysis.Dataset, key string) (T, bool) {
 }
 
 func (r *memoRing[T]) put(ds *analysis.Dataset, key string, val T) {
+	r.putByID(ds.CacheKey(), key, val)
+}
+
+func (r *memoRing[T]) putByID(id any, key string, val T) {
 	r.mu.Lock()
 	if r.entries[r.next].ds != nil {
 		r.evictions++
 	}
-	r.entries[r.next] = memoEntry[T]{ds: ds.CacheKey(), key: key, val: val}
+	r.entries[r.next] = memoEntry[T]{ds: id, key: key, val: val}
 	r.next = (r.next + 1) % len(r.entries)
 	r.mu.Unlock()
 }
@@ -236,11 +252,13 @@ type RingCounters struct {
 }
 
 // MemoRingStats snapshots the package's memo rings — the partition ring
-// behind "clusters"/"cluster-profiles" and the sweep ring behind the
-// auto-k branch and "cluster-sweep".
+// behind "clusters"/"cluster-profiles", the sweep ring behind the
+// auto-k branch and "cluster-sweep", and the warm ring carrying
+// mini-batch online state across dataset generations.
 type MemoRingStats struct {
 	Partition RingCounters
 	Sweep     RingCounters
+	Warm      RingCounters
 }
 
 // MemoRingCounters reports the process-wide memo-ring counters, for the
@@ -249,6 +267,7 @@ func MemoRingCounters() MemoRingStats {
 	return MemoRingStats{
 		Partition: partitionCache.counters(),
 		Sweep:     sweepCache.counters(),
+		Warm:      warmCache.counters(),
 	}
 }
 
@@ -263,7 +282,21 @@ func MemoRingCounters() MemoRingStats {
 var (
 	partitionCache memoRing[*partition]
 	sweepCache     memoRing[[]SweepPoint]
+	// warmCache carries mini-batch online state (centroids + counts)
+	// across dataset generations: entries are stored under the dataset
+	// that produced them and looked up under the successor's
+	// PrevCacheKey, so an appended-to corpus continues its predecessor's
+	// clustering instead of re-seeding. An evicted entry just means a
+	// cold re-seed — determinism holds per lineage either way, because a
+	// fixed append sequence replays fixed lookups.
+	warmCache memoRing[miniWarm]
 )
+
+// miniWarm is the online state one mini-batch run hands its successor.
+type miniWarm struct {
+	cents  [][]float64
+	counts []int64
+}
 
 // partitionFor computes (or recalls) the partition the params describe
 // over the dataset's comparable runs.
@@ -298,7 +331,10 @@ func sweepFor(ds *analysis.Dataset, m *Matrix, kmin, kmax int, seed int64, worke
 	return pts, nil
 }
 
-const algoKMeans = "kmeans++"
+const (
+	algoKMeans    = "kmeans++"
+	algoMiniBatch = "minibatch"
+)
 
 // kmeansObserver adapts the dataset's kernel observer to the k-means
 // per-iteration callback; nil when the dataset is unobserved. The
@@ -311,6 +347,19 @@ func kmeansObserver(ds *analysis.Dataset) func(iter, moved int, converged bool) 
 	}
 	return func(iter, moved int, converged bool) {
 		obs(analysis.KernelEvent{Kernel: "kmeans", Event: "iteration",
+			Index: iter, Moved: moved, Converged: converged})
+	}
+}
+
+// minibatchObserver forwards mini-batch iteration events to the
+// dataset's kernel observer; nil when the dataset is unobserved.
+func minibatchObserver(ds *analysis.Dataset) func(iter, moved int, converged bool) {
+	obs := ds.Kernel
+	if obs == nil {
+		return nil
+	}
+	return func(iter, moved int, converged bool) {
+		obs(analysis.KernelEvent{Kernel: "minibatch", Event: "iteration",
 			Index: iter, Moved: moved, Converged: converged})
 	}
 }
@@ -335,8 +384,11 @@ func computePartition(ds *analysis.Dataset, p analysis.Params) (*partition, erro
 	}
 	algo := p.Str("algo")
 	label := algoKMeans
-	if algo == "hac" {
+	switch algo {
+	case "hac":
 		label = "hac/" + p.Str("linkage")
+	case "minibatch":
+		label = algoMiniBatch
 	}
 	part := &partition{m: m, algo: label}
 	n := len(m.Rows)
@@ -404,6 +456,39 @@ func computePartition(ds *analysis.Dataset, p analysis.Params) (*partition, erro
 		part.k, part.labels = res.K, res.Labels
 		part.sil = Silhouette(m, res.Labels, res.K, workers)
 		return part, nil
+	case "minibatch":
+		seed := p.Int64("seed")
+		if k == 0 {
+			kmin, kmax, err := sweepRange(p, n)
+			if err != nil {
+				return nil, err
+			}
+			if kmax < kmin {
+				return part, nil // corpus smaller than the sweep floor
+			}
+			sweep, err := sweepFor(ds, m, kmin, kmax, seed, workers)
+			if err != nil {
+				return nil, err
+			}
+			k = AutoK(sweep)
+		}
+		mbo := MiniBatchOptions{K: k, Seed: seed, BatchSize: p.Int("batch"),
+			Workers: workers, OnIteration: minibatchObserver(ds)}
+		// Warm-start from the predecessor dataset's online state (the
+		// partition this same parameterization produced before the last
+		// append), when one exists and its shape still fits.
+		if w, ok := warmCache.getByID(ds.PrevCacheKey(), p.Canonical()); ok {
+			mbo.InitCentroids, mbo.InitCounts = w.cents, w.counts
+		}
+		res, err := MiniBatch(m, mbo)
+		if err != nil {
+			return nil, err
+		}
+		warmCache.putByID(ds.CacheKey(), p.Canonical(),
+			miniWarm{cents: res.Centroids, counts: res.Counts})
+		part.k, part.labels = res.K, res.Labels
+		part.sil = Silhouette(m, res.Labels, res.K, workers)
+		return part, nil
 	default:
 		return nil, analysis.BadParams("unknown algo %q", algo)
 	}
@@ -433,7 +518,7 @@ func init() {
 					Sizes: []int{}, Assignments: []Assignment{}}, nil
 			}
 			return newResult(part.algo, part.m, part.labels, part.k, part.sil), nil
-		})
+		}, analysis.Reads(analysis.InputComparable))
 	analysis.RegisterParams("cluster-profiles",
 		"per-cluster phenotypes: dominant vendor, median cores/score, year range",
 		partitionSchema(),
@@ -451,7 +536,7 @@ func init() {
 				Silhouette: part.sil,
 				Profiles:   Profiles(part.m.Runs, part.labels, part.k),
 			}, nil
-		})
+		}, analysis.Reads(analysis.InputComparable))
 	analysis.RegisterParams("cluster-sweep",
 		"k sweep: within-cluster SSE and silhouette for k = 2…10 (elbow curve)",
 		sweepSchema(),
@@ -468,5 +553,5 @@ func init() {
 				return []SweepPoint{}, nil
 			}
 			return sweepFor(ds, m, kmin, kmax, p.Int64("seed"), ds.Workers)
-		})
+		}, analysis.Reads(analysis.InputComparable))
 }

@@ -176,6 +176,44 @@ func TestCachedSourceCustomPath(t *testing.T) {
 	}
 }
 
+// TestCachedSourceAppendOneColdParse pins the cache's
+// append-friendliness: a new result file joining the corpus directory
+// costs exactly one cold parse on the next stream — the cached parses
+// of every untouched file survive, so live ingestion never churns the
+// whole cache.
+func TestCachedSourceAppendOneColdParse(t *testing.T) {
+	runs, err := GenerateCorpus(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	base, extra := runs[:len(runs)-1], runs[len(runs)-1:]
+	if err := WriteCorpus(dir, base, 0); err != nil {
+		t.Fatal(err)
+	}
+	src := CachedSource{Dir: dir}
+	_ = cachedIDs(t, src, 0) // warm the cache over the base corpus
+
+	if err := WriteCorpus(dir, extra, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := ParseCacheCounters()
+	got := cachedIDs(t, src, 0)
+	after := ParseCacheCounters()
+	if len(got) != len(runs) {
+		t.Fatalf("streamed %d of %d after append", len(got), len(runs))
+	}
+	if misses := after.Misses - before.Misses; misses != 1 {
+		t.Errorf("appending one file cost %d cold parses, want 1", misses)
+	}
+	if hits := after.Hits - before.Hits; hits != int64(len(base)) {
+		t.Errorf("append churned the cache: %d hits, want %d", hits, len(base))
+	}
+	if inv := after.Invalidations - before.Invalidations; inv != 0 {
+		t.Errorf("append invalidated %d untouched entries", inv)
+	}
+}
+
 // TestParseCacheCounters: the package-wide counters classify each load
 // as hit, miss, invalidation, or prune. Counters are global, so the
 // test asserts deltas across its own sequential streams.

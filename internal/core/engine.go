@@ -31,8 +31,15 @@ type Engine struct {
 
 	dsOnce sync.Once
 	dsDone atomic.Bool
-	ds     *analysis.Dataset
+	ds     atomic.Pointer[analysis.Dataset]
 	dsErr  error
+
+	// builder survives ingestion so Append can extend the classified
+	// corpus incrementally; appendMu serializes appends (the builder is
+	// single-writer) while readers keep loading immutable snapshots
+	// from ds.
+	builder  *analysis.DatasetBuilder
+	appendMu sync.Mutex
 
 	mu         sync.Mutex
 	memos      map[memoKey]*memo
@@ -216,19 +223,21 @@ func (e *Engine) dataset(hook *TraceHooks) (*analysis.Dataset, error) {
 			}
 			return
 		}
-		e.ds = b.Dataset()
+		e.builder = b
+		snap := b.Snapshot()
 		// Analyses with internal parallelism (e.g. the trend tests)
 		// honor the same worker bound as the engine itself.
-		e.ds.Workers = e.workers
+		snap.Workers = e.workers
+		e.ds.Store(snap)
 		if e.obs.Ingest != nil {
-			e.obs.Ingest(end.Sub(start), len(e.ds.Raw), nil)
+			e.obs.Ingest(end.Sub(start), len(snap.Raw), nil)
 		}
 		if hook != nil && hook.Ingest != nil {
 			hook.Ingest(IngestTrace{Source: e.src.Name(),
-				Start: start, End: end, Runs: len(e.ds.Raw), Parts: parts})
+				Start: start, End: end, Runs: len(snap.Raw), Parts: parts})
 		}
 	})
-	return e.ds, e.dsErr
+	return e.ds.Load(), e.dsErr
 }
 
 // streamSource drains the corpus into the builder. On a traced request
@@ -410,12 +419,128 @@ func (e *Engine) MemoStats() MemoStats {
 
 // RunsIngested reports the corpus size without triggering ingestion:
 // zero until the source has been streamed (or if it failed). The dsDone
-// acquire makes reading ds safe here, mirroring IngestionFailed.
+// acquire makes reading dsErr safe here, mirroring IngestionFailed.
 func (e *Engine) RunsIngested() int {
-	if !e.dsDone.Load() || e.dsErr != nil {
+	if !e.Ingested() {
 		return 0
 	}
-	return len(e.ds.Raw)
+	return len(e.ds.Load().Raw)
+}
+
+// Ingested reports whether the corpus has been streamed successfully,
+// without triggering ingestion. It is the append path's precondition
+// check: runs handed to Append on an engine that has not ingested yet
+// would be delivered again by the source itself on first ingestion.
+func (e *Engine) Ingested() bool {
+	return e.dsDone.Load() && e.dsErr == nil
+}
+
+// AppendStats reports what one Append delivered: how far the appended
+// runs got through the classification funnel and what that did to the
+// memo cache.
+type AppendStats struct {
+	// Appended is the number of runs handed in.
+	Appended int
+	// Parsed counts appended runs that passed parse-consistency
+	// (including the comparable ones); Comparable counts runs that
+	// reached the comparable set.
+	Parsed     int
+	Comparable int
+	// Invalidated is the number of memo entries dropped because their
+	// declared input stage gained rows; Retained is the number kept
+	// warm because it did not.
+	Invalidated int
+	Retained    int
+}
+
+// Append feeds new runs through the classification funnel the engine
+// already built, publishes a fresh dataset snapshot, and drops exactly
+// the memos whose declared input stage (analysis.Reads) gained rows —
+// analyses unaffected by the appended runs keep serving from memo.
+// Ingestion is triggered if it has not happened yet, so the appended
+// runs must not also be delivered by the engine's source; callers
+// layering Append over a growing source (core.AppendSource) skip
+// already-ingested content by checking Ingested first, as the serving
+// pool does.
+//
+// Append is atomic with respect to other Append calls but not with
+// respect to in-flight computations: a computation that started before
+// an Append may observe the newer snapshot. Callers needing
+// ETag-style read consistency serialize appends against reads, as the
+// serving pool does with its per-scope lock.
+func (e *Engine) Append(runs []*model.Run) (AppendStats, error) {
+	var st AppendStats
+	if len(runs) == 0 {
+		return st, nil
+	}
+	if _, err := e.dataset(nil); err != nil {
+		return st, err
+	}
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+	before := e.builder.Funnel()
+	for _, r := range runs {
+		e.builder.Add(r)
+	}
+	after := e.builder.Funnel()
+	st.Appended = len(runs)
+	st.Parsed = after.Parsed - before.Parsed
+	st.Comparable = after.Comparable - before.Comparable
+	snap := e.builder.Snapshot()
+	snap.Workers = e.workers
+	e.ds.Store(snap)
+	st.Invalidated, st.Retained = e.invalidate(st.Parsed > 0, st.Comparable > 0)
+	return st, nil
+}
+
+// invalidate drops the memos whose declared input stage gained rows
+// and reports how many were dropped vs. kept warm.
+func (e *Engine) invalidate(parsed, comparable bool) (dropped, kept int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for key := range e.memos {
+		if !appendAffects(inputOf(key.name), parsed, comparable) {
+			kept++
+			continue
+		}
+		delete(e.memos, key)
+		dropped++
+	}
+	if dropped > 0 && len(e.paramOrder) > 0 {
+		live := e.paramOrder[:0]
+		for _, key := range e.paramOrder {
+			if _, ok := e.memos[key]; ok {
+				live = append(live, key)
+			}
+		}
+		e.paramOrder = live
+	}
+	return dropped, kept
+}
+
+// inputOf resolves an analysis's declared input stage, defaulting to
+// the conservative InputRaw for names no longer registered.
+func inputOf(name string) analysis.Input {
+	if reg, ok := analysis.Lookup(name); ok {
+		return reg.Input
+	}
+	return analysis.InputRaw
+}
+
+// appendAffects reports whether an analysis reading the given stage is
+// affected by an append whose runs reached the given stages. Raw is
+// always affected: every appended run lands in the raw set.
+func appendAffects(in analysis.Input, parsed, comparable bool) bool {
+	switch in {
+	case analysis.InputNone:
+		return false
+	case analysis.InputComparable:
+		return comparable
+	case analysis.InputParsed:
+		return parsed
+	default:
+		return true
+	}
 }
 
 // AnalysisAs runs a named analysis and asserts its result type.

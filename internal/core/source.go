@@ -110,6 +110,13 @@ func ListResultFiles(dir string) ([]string, error) {
 	return paths, nil
 }
 
+// ParseResultFile parses one result file from disk — the single-file
+// form of DirSource's loader, exported for callers folding newly
+// arrived files into a live corpus (the specserve watcher).
+func ParseResultFile(path string) (*model.Run, error) {
+	return parseResultFile(path)
+}
+
 // parseResultFile parses one result file.
 func parseResultFile(path string) (*model.Run, error) {
 	f, err := os.Open(path)

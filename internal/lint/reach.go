@@ -33,7 +33,9 @@ type reachability struct {
 // Reachable computes (once, memoized on the program) the set of
 // function bodies reachable from registered analysis funcs. An entry
 // point is any func literal or named func passed to
-// analysis.Register/RegisterParams/RegisterStatic. From each entry the
+// analysis.Register/RegisterParams/RegisterStatic — located by type,
+// not position, because trailing RegOptions (analysis.Reads(...)) are
+// also func-typed arguments and must not shadow the entry. From each entry the
 // walk follows every *reference* to a module-declared function — call
 // position or not, so a metric func stored in a table and invoked
 // through a variable still counts — across package boundaries.
@@ -55,10 +57,14 @@ func (p *Program) Reachable() []reachBody {
 				}
 				fn := funcObj(pkg.Info, call)
 				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != registryPath ||
-					!registerFuncs[fn.Name()] || len(call.Args) == 0 {
+					!registerFuncs[fn.Name()] {
 					return true
 				}
-				r.addEntry(p, pkg, call.Args[len(call.Args)-1])
+				for _, arg := range call.Args {
+					if isAnalysisFuncArg(pkg.Info, arg) {
+						r.addEntry(p, pkg, arg)
+					}
+				}
 				return true
 			})
 		}
@@ -110,6 +116,29 @@ func (r *reachability) walk(p *Program, pkg *Package, body ast.Node) {
 		}
 		return true
 	})
+}
+
+// isAnalysisFuncArg reports whether one Register-call argument is the
+// analysis func itself. The func is not positionally identifiable:
+// registrations may end with RegOptions (analysis.Reads(...)), which
+// are func-typed values too. So the filter is by type — any argument
+// whose type is a function signature other than analysis.RegOption is
+// an entry point; names, descriptions, and schemas fall out naturally.
+func isAnalysisFuncArg(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, ok := tv.Type.Underlying().(*types.Signature); !ok {
+		return false
+	}
+	if named, ok := tv.Type.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil &&
+			obj.Pkg().Path() == registryPath && obj.Name() == "RegOption" {
+			return false
+		}
+	}
+	return true
 }
 
 // exprFunc resolves an expression naming a function (identifier,

@@ -25,6 +25,10 @@ func init() {
 		return time.Now().Unix(), nil // want "reads the wall clock"
 	})
 	analysis.Register("ndet-seeded", "seeded private generator", seededRand)
+	// The func arg is trailed by a RegOption (itself func-typed); the
+	// walk must still find the entry by type rather than position.
+	analysis.Register("ndet-optioned", "entry with trailing option", optionedClock,
+		analysis.Reads(analysis.InputComparable))
 	analysis.Register("ndet-observer", "kernel progress observer", observerEmitter)
 	analysis.Register("ndet-stored", "metric stored in a table", storedMetric)
 	analysis.Register("ndet-select", "racing select", selectRace)
@@ -117,6 +121,12 @@ func storedMetric(ds *analysis.Dataset) (any, error) {
 
 func sinner() int64 {
 	return time.Now().Unix() // want "reads the wall clock"
+}
+
+// optionedClock is registered with a trailing RegOption; its violation
+// must still be reported.
+func optionedClock(ds *analysis.Dataset) (any, error) {
+	return time.Now().UnixMilli(), nil // want "reads the wall clock"
 }
 
 // unreachable is never registered and never referenced from a

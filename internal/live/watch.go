@@ -1,0 +1,135 @@
+// Package live detects growth of on-disk corpora for the serving
+// layer's append plane. A Watcher polls one or more corpus directories
+// and reports which result files appeared, changed, or vanished since
+// the previous poll; a Runner drives those polls from an injectable
+// tick channel, so the package itself never reads a clock — the caller
+// owns time (a time.Ticker in specserve, a hand-fed channel in tests),
+// which keeps the package deterministic under test and clean under
+// specvet's determinism analyzers.
+//
+// The watcher is deliberately a poller, not an inotify consumer: the
+// corpus directories it watches are small (hundreds of files), polls
+// are two syscalls per file, and polling works identically on every
+// platform and over network filesystems where notification APIs are
+// unreliable. Deltas are classified by (size, mtime) pairs — the same
+// signature the gob parse cache trusts — so a rewritten file with
+// identical length still registers as Modified when its mtime moved.
+package live
+
+import (
+	"os"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// fileState is the change signature for one result file.
+type fileState struct {
+	size  int64
+	mtime int64 // UnixNano
+}
+
+// Delta is one poll's classified changes. Paths in each slice are
+// sorted, so a delta built from a given directory state is
+// deterministic regardless of filesystem iteration order.
+type Delta struct {
+	// Added lists result files that appeared since the previous poll —
+	// the append-friendly case: the serving layer folds them in through
+	// the engine delta path without rebuilding anything.
+	Added []string
+	// Modified lists files whose (size, mtime) signature changed, and
+	// Removed files that vanished. Neither is expressible as an append;
+	// the serving layer responds by resetting its pool.
+	Modified []string
+	Removed  []string
+}
+
+// Empty reports whether the poll found no changes.
+func (d Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Modified) == 0 && len(d.Removed) == 0
+}
+
+// Watcher polls a set of corpus directories for result-file changes.
+// It is not safe for concurrent use; the Runner serializes polls.
+type Watcher struct {
+	dirs []string
+	// known is the signature map from the previous poll (nil until
+	// Baseline or the first Poll).
+	known map[string]fileState
+}
+
+// NewWatcher watches the given corpus directories. Directories are
+// walked recursively with the same result-file predicate the corpus
+// sources use, so the watcher sees exactly what a DirSource would
+// ingest.
+func NewWatcher(dirs ...string) *Watcher {
+	return &Watcher{dirs: append([]string(nil), dirs...)}
+}
+
+// Baseline records the current directory state without reporting it,
+// so files present at startup — already ingested by the corpus source
+// — are not re-announced as Added by the first Poll.
+func (w *Watcher) Baseline() error {
+	state, err := w.scan()
+	if err != nil {
+		return err
+	}
+	w.known = state
+	return nil
+}
+
+// Poll scans the watched directories and returns the changes since the
+// previous Poll (or Baseline). The first Poll without a Baseline
+// reports every existing file as Added. On scan error the previous
+// state is kept, so a transient failure never manufactures a delta.
+func (w *Watcher) Poll() (Delta, error) {
+	state, err := w.scan()
+	if err != nil {
+		return Delta{}, err
+	}
+	var d Delta
+	for path, cur := range state {
+		prev, ok := w.known[path]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, path)
+		case cur != prev:
+			d.Modified = append(d.Modified, path)
+		}
+	}
+	for path := range w.known {
+		if _, ok := state[path]; !ok {
+			d.Removed = append(d.Removed, path)
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Modified)
+	sort.Strings(d.Removed)
+	w.known = state
+	return d, nil
+}
+
+// scan builds the signature map for the watched directories. A file
+// that vanishes between listing and stat is simply absent from the
+// map — it will surface as Removed on the poll after its deletion
+// completes, never as an error.
+func (w *Watcher) scan() (map[string]fileState, error) {
+	state := map[string]fileState{}
+	for _, dir := range w.dirs {
+		paths, err := core.ListResultFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, path := range paths {
+			info, err := os.Stat(path)
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue
+				}
+				return nil, err
+			}
+			state[path] = fileState{size: info.Size(), mtime: info.ModTime().UnixNano()}
+		}
+	}
+	return state, nil
+}

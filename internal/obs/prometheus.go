@@ -65,6 +65,14 @@ type ServerGauges struct {
 	AuditFlushesInterval int64
 	AuditFlushesClose    int64
 	AuditFlushedRecords  int64
+
+	// Live-ingestion counters, gated by LiveEnabled: the corpus
+	// generation (bumped once per absorbed append), appends absorbed,
+	// and runs those appends carried.
+	LiveEnabled       bool
+	Generation        uint64
+	AppendsTotal      int64
+	AppendedRunsTotal int64
 }
 
 // MemoRingGauge is one memo ring's counters for the exposition, labeled
@@ -173,6 +181,11 @@ func (c *Collector) WritePrometheus(w io.Writer, g ServerGauges) {
 	if g.TraceCapacity > 0 {
 		counter("specserve_traces_recorded_total", "Request traces recorded (including ones overwritten in the ring).", g.TracesRecorded)
 		gauge("specserve_trace_ring_capacity", "Bound on resident completed traces served by /v1/traces.", strconv.Itoa(g.TraceCapacity))
+	}
+	if g.LiveEnabled {
+		gauge("specserve_generation", "Live corpus generation (bumped once per absorbed append).", strconv.FormatUint(g.Generation, 10))
+		counter("specserve_appends_total", "Live appends absorbed into the corpus (POST /v1/runs and watcher deltas).", g.AppendsTotal)
+		counter("specserve_appended_runs_total", "Runs folded into the live corpus across all appends.", g.AppendedRunsTotal)
 	}
 
 	c.mu.Lock()

@@ -293,8 +293,8 @@ func TestPoolViewStable(t *testing.T) {
 	if base.MemoEntries != 2 || base.MemoHits < 1 {
 		t.Errorf("base memo entries=%d hits=%d, want 2, ≥1", base.MemoEntries, base.MemoHits)
 	}
-	if base.Runs == 0 || base.ApproxBytes == 0 {
-		t.Errorf("base runs=%d approx_bytes=%d, want both >0", base.Runs, base.ApproxBytes)
+	if base.RunsIngested == 0 || base.ApproxBytes == 0 {
+		t.Errorf("base runs=%d approx_bytes=%d, want both >0", base.RunsIngested, base.ApproxBytes)
 	}
 }
 

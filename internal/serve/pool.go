@@ -57,11 +57,24 @@ func parseScope(expr string) (scope, error) {
 // one ingestion and one computation per analysis).
 type poolEntry struct {
 	scope string
+	keep  func(*model.Run) bool // scope predicate (nil = whole corpus)
 	once  sync.Once
 
-	eng         *core.Engine
-	fingerprint string
-	err         error
+	eng *core.Engine
+	src core.Source // the scope's source, for fingerprint refresh on append
+	err error
+
+	// live orders appends against serving on a live pool: a handler
+	// holds the read side from reading the fingerprint until its
+	// response bytes (and audit record) exist, so the ETag it hands out
+	// always matches the engine state it computed from; absorb holds
+	// the write side while folding runs in and refreshing the
+	// fingerprint. The guarded fields below are immutable on a static
+	// pool — the lock is then uncontended and the fast path unchanged.
+	live         sync.RWMutex
+	fingerprint  string
+	gen          uint64 // live-source generation the fingerprint reflects
+	runsAppended int64  // runs folded in after the initial build
 
 	// born is the pool's get counter at insertion; age-in-requests is
 	// the counter's distance from it.
@@ -86,12 +99,22 @@ type enginePool struct {
 	metrics *obs.Collector
 	events  *evlog.Logger // nil = no event log
 
+	// live is the append-aware base source when live ingestion is on
+	// (it wraps base), nil on a static pool. appendMu serializes the
+	// append plane — absorbs, resets, and the build-time fingerprint
+	// fallback — so generations advance one at a time.
+	live     *core.AppendSource
+	appendMu sync.Mutex
+
 	mu      sync.Mutex
 	lru     *list.List // of *poolEntry; front = most recently served
 	byScope map[string]*list.Element
 
 	builds    atomic.Int64
 	evictions atomic.Int64 // LRU evictions only, the /v1/stats semantics
+
+	appends      atomic.Int64 // absorbed appends (POST bodies + watcher deltas)
+	appendedRuns atomic.Int64 // runs those appends carried
 
 	// state-plane counters for the exposition
 	gets              atomic.Int64 // every pool.get, the age-in-requests clock
@@ -102,9 +125,10 @@ type enginePool struct {
 	evictIngestFailed atomic.Int64 // entries dropped after IngestionFailed
 }
 
-func newEnginePool(base core.Source, workers, max int, metrics *obs.Collector, events *evlog.Logger) *enginePool {
+func newEnginePool(base core.Source, live *core.AppendSource, workers, max int, metrics *obs.Collector, events *evlog.Logger) *enginePool {
 	return &enginePool{
 		base:    base,
+		live:    live,
 		workers: workers,
 		max:     max,
 		metrics: metrics,
@@ -150,7 +174,7 @@ func (p *enginePool) get(sc scope, traceID string) (*poolEntry, error) {
 			evlog.String("trace_id", traceID))
 		start := time.Now()
 		src := p.source(sc)
-		fp, err := core.SourceFingerprint(src)
+		fp, gen, err := p.stableFingerprint(src)
 		if err != nil {
 			// Never cache a failed build: drop the entry so a transient
 			// problem (corpus dir mid-sync, say) is retried, not pinned.
@@ -160,6 +184,9 @@ func (p *enginePool) get(sc scope, traceID string) (*poolEntry, error) {
 		}
 		p.builds.Add(1)
 		ent.fingerprint = fp
+		ent.gen = gen
+		ent.src = src
+		ent.keep = sc.keep
 		ent.eng = core.New(core.WithSource(src), core.WithWorkers(p.workers),
 			core.WithObserver(p.observer()))
 		// The build stage covers fingerprinting plus construction;
@@ -195,6 +222,155 @@ func (p *enginePool) source(sc scope) core.Source {
 		return p.base
 	}
 	return core.FilterSource{Inner: p.base, Keep: sc.keep, Desc: sc.expr}
+}
+
+// stableFingerprint fingerprints a scope source at a known generation.
+// On a static pool that is just SourceFingerprint. On a live pool an
+// append can land mid-walk, yielding a fingerprint that matches neither
+// the old nor the new corpus — so the generation is read on both sides
+// and the walk retried on a mismatch; after two dirty reads the final
+// attempt runs under appendMu, with the append plane quiesced.
+func (p *enginePool) stableFingerprint(src core.Source) (string, uint64, error) {
+	if p.live == nil {
+		fp, err := core.SourceFingerprint(src)
+		return fp, 0, err
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		gen := p.live.Generation()
+		fp, err := core.SourceFingerprint(src)
+		if err != nil {
+			return "", 0, err
+		}
+		if p.live.Generation() == gen {
+			return fp, gen, nil
+		}
+	}
+	p.appendMu.Lock()
+	defer p.appendMu.Unlock()
+	fp, err := core.SourceFingerprint(src)
+	return fp, p.live.Generation(), err
+}
+
+// entries snapshots the resident entries without disturbing LRU order.
+func (p *enginePool) entries() []*poolEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ents := make([]*poolEntry, 0, p.lru.Len())
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		ents = append(ents, el.Value.(*poolEntry))
+	}
+	return ents
+}
+
+// absorb folds freshly arrived runs into the live corpus: it advances
+// the append source — Append for runs that exist nowhere else (the
+// POST /v1/runs path), Bump for runs whose files the base source
+// already sees (the watcher path, where appending them again would
+// deliver them twice to engines that ingest later) — then walks every
+// resident entry, feeding matching runs through its engine's delta path
+// and refreshing its fingerprint. Returns the new generation.
+func (p *enginePool) absorb(runs []*model.Run, viaOverlay bool, traceID string) uint64 {
+	p.appendMu.Lock()
+	defer p.appendMu.Unlock()
+	var gen uint64
+	if viaOverlay {
+		gen = p.live.Append(runs...)
+	} else {
+		gen = p.live.Bump()
+	}
+	p.appends.Add(1)
+	p.appendedRuns.Add(int64(len(runs)))
+	for _, ent := range p.entries() {
+		p.absorbEntry(ent, runs, gen, traceID)
+	}
+	p.events.Info("pool_append",
+		evlog.Int("runs", len(runs)),
+		evlog.Int64("generation", int64(gen)),
+		evlog.Bool("overlay", viaOverlay),
+		evlog.String("trace_id", traceID))
+	return gen
+}
+
+// absorbEntry folds one absorbed append into one resident entry, under
+// its write lock so no in-flight request sees the fingerprint move
+// between its ETag and its body. Entries still building are skipped —
+// their build fingerprints the post-append source (stableFingerprint
+// rules out the torn read) and their engine ingests it whole. Likewise
+// an already-current entry (built after the bump), and an engine that
+// has not ingested yet: its eventual ingestion streams the post-append
+// source, so feeding it the runs now would deliver them twice.
+func (p *enginePool) absorbEntry(ent *poolEntry, runs []*model.Run, gen uint64, traceID string) {
+	if !ent.built.Load() {
+		return
+	}
+	ent.live.Lock()
+	defer ent.live.Unlock()
+	if ent.gen >= gen {
+		return
+	}
+	var st core.AppendStats
+	if ent.eng.Ingested() {
+		matching := runs
+		if ent.keep != nil {
+			matching = nil
+			for _, r := range runs {
+				if ent.keep(r) {
+					matching = append(matching, r)
+				}
+			}
+		}
+		var err error
+		if st, err = ent.eng.Append(matching); err != nil {
+			// A failed delta leaves the engine's dataset behind its
+			// source: drop the entry so the next request rebuilds from
+			// the full post-append corpus.
+			p.dropReason(ent, "append_failed", traceID)
+			return
+		}
+	}
+	fp, err := core.SourceFingerprint(ent.src)
+	if err != nil {
+		p.dropReason(ent, "append_failed", traceID)
+		return
+	}
+	ent.fingerprint = fp
+	ent.gen = gen
+	ent.runsAppended += int64(st.Appended)
+	p.events.Debug("pool_append_scope",
+		evlog.String("scope", ent.scope),
+		evlog.Int("appended", st.Appended),
+		evlog.Int("invalidated", st.Invalidated),
+		evlog.Int("retained", st.Retained),
+		evlog.Int64("generation", int64(gen)),
+		evlog.String("trace_id", traceID))
+}
+
+// reset drops every resident entry and advances the generation: the
+// base corpus changed in a way the delta path cannot express (a file
+// modified or removed under the watcher), so every engine and every
+// outstanding ETag is stale. In-flight requests finish against the
+// engines they already hold — their ETags match the bytes they serve,
+// and the next revalidation misses.
+func (p *enginePool) reset(reason string) int {
+	p.appendMu.Lock()
+	defer p.appendMu.Unlock()
+	if p.live != nil {
+		p.live.Bump()
+	}
+	p.mu.Lock()
+	dropped := make([]string, 0, p.lru.Len())
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		dropped = append(dropped, el.Value.(*poolEntry).scope)
+	}
+	p.lru.Init()
+	p.byScope = map[string]*list.Element{}
+	p.mu.Unlock()
+	for _, sc := range dropped {
+		p.events.Info("pool_evict",
+			evlog.String("scope", sc),
+			evlog.String("reason", reason))
+	}
+	return len(dropped)
 }
 
 // entry looks the scope up, inserting (and evicting beyond the LRU

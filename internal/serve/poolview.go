@@ -33,9 +33,16 @@ type PoolScopeView struct {
 	AgeRequests int64 `json:"age_requests"`
 	// Hits counts requests that found this entry already resident.
 	Hits int64 `json:"hits"`
-	// Runs is the ingested corpus size (0 until ingestion happens —
-	// engines ingest lazily on the first analysis).
-	Runs int `json:"runs"`
+	// RunsIngested is the ingested corpus size (0 until ingestion
+	// happens — engines ingest lazily on the first analysis), counting
+	// both the initial stream and runs appended since.
+	RunsIngested int `json:"runs_ingested"`
+	// Generation is the live-corpus generation this entry's fingerprint
+	// reflects; RunsAppended counts the runs folded in through the
+	// delta path after the initial build. Both stay zero on a static
+	// server.
+	Generation   uint64 `json:"generation,omitempty"`
+	RunsAppended int64  `json:"runs_appended,omitempty"`
 	// MemoEntries / MemoHits / MemoMisses describe the engine's analysis
 	// memo cache.
 	MemoEntries int   `json:"memo_entries"`
@@ -75,13 +82,19 @@ func (p *enginePool) snapshot() PoolSnapshot {
 		if !ent.built.Load() {
 			v.Building = true
 		} else {
+			// The entry read lock keeps the fingerprint/generation pair
+			// coherent against a concurrent absorb.
+			ent.live.RLock()
 			v.Fingerprint = ent.fingerprint
+			v.Generation = ent.gen
+			v.RunsAppended = ent.runsAppended
+			ent.live.RUnlock()
 			ms := ent.eng.MemoStats()
 			v.MemoEntries = ms.Entries
 			v.MemoHits = ms.Hits
 			v.MemoMisses = ms.Misses
-			v.Runs = ent.eng.RunsIngested()
-			v.ApproxBytes = int64(v.Runs)*approxRunBytes + int64(v.MemoEntries)*approxMemoBytes
+			v.RunsIngested = ent.eng.RunsIngested()
+			v.ApproxBytes = int64(v.RunsIngested)*approxRunBytes + int64(v.MemoEntries)*approxMemoBytes
 		}
 		views = append(views, v)
 	}

@@ -12,9 +12,11 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/obs/evlog"
 	"repro/internal/obs/trace"
+	"repro/internal/parser"
 	"repro/internal/synth"
 )
 
@@ -68,6 +70,12 @@ type Config struct {
 	// Pprof mounts GET /debug/pprof/* for loopback clients. Off by
 	// default: profiles expose memory contents.
 	Pprof bool
+	// Live enables the append plane: Base is wrapped in a
+	// core.AppendSource, POST /v1/runs accepts one result file per
+	// request, AppendRuns / AbsorbBaseGrowth / ResetPool become
+	// operational, and the generation + append counters join /metrics
+	// and /v1/stats. Off by default — a static corpus needs none of it.
+	Live bool
 }
 
 // Server serves the analysis registry over HTTP. It is an http.Handler;
@@ -76,6 +84,7 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	pool     *enginePool
+	live     *core.AppendSource // nil unless cfg.Live
 	gate     chan struct{}
 	handler  http.Handler
 	started  time.Time
@@ -97,10 +106,16 @@ func New(cfg Config) *Server {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = DefaultMaxInFlight
 	}
+	var live *core.AppendSource
+	if cfg.Live {
+		live = core.NewAppendSource(cfg.Base)
+		cfg.Base = live
+	}
 	metrics := obs.NewCollector()
 	s := &Server{
 		cfg:     cfg,
-		pool:    newEnginePool(cfg.Base, cfg.Workers, cfg.PoolSize, metrics, cfg.Events),
+		pool:    newEnginePool(cfg.Base, live, cfg.Workers, cfg.PoolSize, metrics, cfg.Events),
+		live:    live,
 		gate:    make(chan struct{}, cfg.MaxInFlight),
 		started: time.Now(),
 		metrics: metrics,
@@ -121,6 +136,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/report", s.handleReport)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/pool", s.handlePool)
+	if cfg.Live {
+		mux.HandleFunc("POST /v1/runs", s.handleAppendRun)
+	}
 	if s.traces != nil {
 		mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	}
@@ -138,12 +156,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Warm pre-builds the whole-corpus engine and ingests its dataset, so
 // the first unfiltered request after startup is served from memory
-// instead of paying for ingestion.
+// instead of paying for ingestion. The ingestion runs under the
+// entry's read lock like any request's would, so on a live pool it
+// cannot interleave with an absorb (which would leave the entry's
+// fingerprint ahead of the data the engine streamed).
 func (s *Server) Warm() error {
 	ent, err := s.pool.get(scope{}, "")
 	if err != nil {
 		return err
 	}
+	ent.live.RLock()
+	defer ent.live.RUnlock()
 	_, err = ent.eng.Dataset()
 	return err
 }
@@ -387,12 +410,20 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	// The entry's read lock spans fingerprint read through audit: on a
+	// live pool an absorb cannot land between the ETag and the bytes it
+	// validates, so a response never carries an ETag older (or newer)
+	// than the data it serves. The lock is released before the network
+	// write — a slow client must not stall the append plane.
+	ent.live.RLock()
+	fingerprint := ent.fingerprint
 	// The canonical param string joins the validator identity, so
 	// ?k=3 and ?k=5 on one scope revalidate independently while two
 	// spellings of the same parameterization share one ETag.
-	etag := etagFor(ent.fingerprint, "analysis", name, sc.expr, params.Canonical())
+	etag := etagFor(fingerprint, "analysis", name, sc.expr, params.Canonical())
 	root.SetAttr("etag", etag)
 	if notModified(r, etag) {
+		ent.live.RUnlock()
 		writeValidator(w, etag)
 		w.WriteHeader(http.StatusNotModified)
 		return
@@ -401,6 +432,7 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 	v, err := ent.eng.AnalysisRequest(core.Request{Name: name, Params: params, Trace: t.hooks()})
 	m.ComputeNs = time.Since(computeStart).Nanoseconds()
 	if err != nil {
+		ent.live.RUnlock()
 		// A broken corpus poisons every analysis of the scope: drop the
 		// entry so the next request retries ingestion instead of
 		// replaying the memoized failure forever. An analysis that
@@ -430,6 +462,7 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 	serializeEnd := time.Now()
 	m.SerializeNs = serializeEnd.Sub(serializeStart).Nanoseconds()
 	if err != nil {
+		ent.live.RUnlock()
 		httpError(w, http.StatusInternalServerError, fmt.Sprintf("encode response: %v", err))
 		return
 	}
@@ -445,7 +478,8 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 	// be matched to its audit row (and vice versa).
 	digest := obs.ResultDigest(body)
 	root.SetAttr("audit_digest", digest)
-	s.appendAudit(ent.fingerprint, name, params.Canonical(), sc.expr, digest, t.id())
+	s.appendAudit(fingerprint, name, params.Canonical(), sc.expr, digest, t.id())
+	ent.live.RUnlock()
 	writeValidator(w, etag)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -494,9 +528,15 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	etag := etagFor(ent.fingerprint, "report", sc.expr)
+	// Same read-lock discipline as handleAnalysis: the ETag and the
+	// rendered bytes come from one corpus state, released before the
+	// network write.
+	ent.live.RLock()
+	fingerprint := ent.fingerprint
+	etag := etagFor(fingerprint, "report", sc.expr)
 	root.SetAttr("etag", etag)
 	if notModified(r, etag) {
+		ent.live.RUnlock()
 		writeValidator(w, etag)
 		w.WriteHeader(http.StatusNotModified)
 		return
@@ -515,6 +555,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	rsp := root.ChildAt("render", computeStart)
 	rsp.FinishAt(computeEnd)
 	if renderErr != nil {
+		ent.live.RUnlock()
 		if ent.eng.IngestionFailed() {
 			s.pool.dropReason(ent, "ingestion_failed", t.id())
 		}
@@ -527,9 +568,102 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	// "report" is not registered).
 	digest := obs.ResultDigest(buf.Bytes())
 	root.SetAttr("audit_digest", digest)
-	s.appendAudit(ent.fingerprint, "report", "", sc.expr, digest, t.id())
+	s.appendAudit(fingerprint, "report", "", sc.expr, digest, t.id())
+	ent.live.RUnlock()
 	writeValidator(w, etag)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf.Bytes())
+}
+
+// maxRunBody bounds a POST /v1/runs body. Real result files are tens
+// of kilobytes; 4MB leaves two orders of magnitude of headroom while
+// keeping a runaway upload from buffering unbounded memory.
+const maxRunBody = 4 << 20
+
+// appendResponse is the POST /v1/runs success body.
+type appendResponse struct {
+	// ID of the appended run, echoed from the parsed file.
+	ID string `json:"id"`
+	// Generation the corpus advanced to; every scope's ETag has rolled.
+	Generation uint64 `json:"generation"`
+}
+
+// handleAppendRun ingests one result file — the request body, verbatim
+// in the same format the corpus directory holds — into the live corpus.
+// The append is synchronous: when the 200 returns, every resident
+// engine has folded the run in and every ETag has rolled.
+func (s *Server) handleAppendRun(w http.ResponseWriter, r *http.Request) {
+	m := requestMetrics(r)
+	m.Analysis = "append"
+	t := requestTracer(r)
+	root := t.root()
+	root.SetAttr("analysis", "append")
+	parseStart := time.Now()
+	run, err := parser.Parse(http.MaxBytesReader(w, r.Body, maxRunBody))
+	parseEnd := time.Now()
+	psp := root.ChildAt("parse", parseStart)
+	psp.FinishAt(parseEnd)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("parse result file: %v", err))
+		return
+	}
+	root.SetAttr("run_id", run.ID)
+	appendStart := time.Now()
+	gen := s.pool.absorb([]*model.Run{run}, true, t.id())
+	appendEnd := time.Now()
+	m.ComputeNs = appendEnd.Sub(appendStart).Nanoseconds()
+	asp := root.ChildAt("append", appendStart)
+	asp.SetAttr("generation", fmt.Sprint(gen))
+	asp.FinishAt(appendEnd)
+	writeJSON(w, http.StatusOK, appendResponse{ID: run.ID, Generation: gen})
+}
+
+// errNotLive rejects append-plane calls on a server built without
+// Config.Live.
+var errNotLive = errors.New("serve: live ingestion disabled (set Config.Live)")
+
+// Generation reports the live corpus generation (0 on a static server:
+// the corpus never moves).
+func (s *Server) Generation() uint64 {
+	if s.live == nil {
+		return 0
+	}
+	return s.live.Generation()
+}
+
+// AppendRuns folds runs that exist nowhere else — no backing file the
+// base source could re-deliver — into the live corpus, synchronously:
+// the overlay, every resident engine, and every fingerprint have
+// absorbed them when it returns. The programmatic form of POST
+// /v1/runs.
+func (s *Server) AppendRuns(runs ...*model.Run) (uint64, error) {
+	if s.live == nil {
+		return 0, errNotLive
+	}
+	return s.pool.absorb(runs, true, ""), nil
+}
+
+// AbsorbBaseGrowth folds runs whose result files the base source
+// already sees — the watcher path, after new files landed in the
+// corpus directory. The runs reach resident engines through the delta
+// path, but stay out of the overlay: engines built later stream them
+// from the base source, and double-absorbing them here would deliver
+// them twice.
+func (s *Server) AbsorbBaseGrowth(runs ...*model.Run) (uint64, error) {
+	if s.live == nil {
+		return 0, errNotLive
+	}
+	return s.pool.absorb(runs, false, ""), nil
+}
+
+// ResetPool drops every resident engine and rolls the generation: the
+// base corpus changed in a way the delta path cannot express (a result
+// file modified or deleted), so each scope rebuilds from the current
+// corpus on its next request. Returns the number of entries dropped.
+func (s *Server) ResetPool(reason string) (int, error) {
+	if s.live == nil {
+		return 0, errNotLive
+	}
+	return s.pool.reset(reason), nil
 }

@@ -409,7 +409,7 @@ func TestListSchemas(t *testing.T) {
 	seen := map[string]bool{}
 	for _, p := range clusters.Params {
 		seen[p.Name] = true
-		if p.Name == "algo" && (p.Kind != "enum" || len(p.Enum) != 2 || p.Default != "kmeans") {
+		if p.Name == "algo" && (p.Kind != "enum" || len(p.Enum) != 3 || p.Default != "kmeans") {
 			t.Errorf("algo param listed as %+v", p)
 		}
 		if p.Name == "seed" && p.Default != "14" {

@@ -87,6 +87,19 @@ type StatsSnapshot struct {
 	Audit *AuditStats `json:"audit,omitempty"`
 	// Traces reports the request-trace ring, when tracing is enabled.
 	Traces *TraceStats `json:"traces,omitempty"`
+	// Live reports the append plane, when live ingestion is enabled.
+	Live *LiveStats `json:"live,omitempty"`
+}
+
+// LiveStats reports the live-ingestion plane in /v1/stats.
+type LiveStats struct {
+	// Generation is the corpus generation: 0 at boot, bumped once per
+	// absorbed append. Every bump rolls every scope's ETag.
+	Generation uint64 `json:"generation"`
+	// Appends counts absorbed appends (POST /v1/runs bodies and watcher
+	// deltas); AppendedRuns counts the runs they carried.
+	Appends      int64 `json:"appends"`
+	AppendedRuns int64 `json:"appended_runs"`
 }
 
 // TraceStats reports the trace ring's state in /v1/stats.
@@ -127,6 +140,13 @@ func (s *Server) Stats() StatsSnapshot {
 	if s.traces != nil {
 		snap.Traces = &TraceStats{Capacity: s.traces.Capacity(), Recorded: s.traces.Recorded()}
 	}
+	if s.live != nil {
+		snap.Live = &LiveStats{
+			Generation:   s.live.Generation(),
+			Appends:      s.pool.appends.Load(),
+			AppendedRuns: s.pool.appendedRuns.Load(),
+		}
+	}
 	return snap
 }
 
@@ -160,6 +180,8 @@ func (s *Server) gauges() obs.ServerGauges {
 				Misses: rings.Partition.Misses, Evictions: rings.Partition.Evictions},
 			{Ring: "sweep", Hits: rings.Sweep.Hits,
 				Misses: rings.Sweep.Misses, Evictions: rings.Sweep.Evictions},
+			{Ring: "warm", Hits: rings.Warm.Hits,
+				Misses: rings.Warm.Misses, Evictions: rings.Warm.Evictions},
 		},
 		ParseCacheHits:          pc.Hits,
 		ParseCacheMisses:        pc.Misses,
@@ -179,6 +201,12 @@ func (s *Server) gauges() obs.ServerGauges {
 	if s.traces != nil {
 		g.TraceCapacity = s.traces.Capacity()
 		g.TracesRecorded = int64(s.traces.Recorded())
+	}
+	if s.live != nil {
+		g.LiveEnabled = true
+		g.Generation = s.live.Generation()
+		g.AppendsTotal = s.pool.appends.Load()
+		g.AppendedRunsTotal = s.pool.appendedRuns.Load()
 	}
 	return g
 }
